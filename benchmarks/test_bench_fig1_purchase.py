@@ -1,0 +1,48 @@
+"""FIG1 — regenerate the Purchase table of Figure 1.
+
+The experiment asserts the exact eight tuples of the paper and
+benchmarks loading/scanning the table through the SQL engine.
+"""
+
+import datetime
+
+from repro import Database
+from repro.datagen import figure1_rows, load_purchase_figure1
+
+EXPECTED = [
+    (1, "cust1", "ski_pants", datetime.date(1995, 12, 17), 140.0, 1),
+    (1, "cust1", "hiking_boots", datetime.date(1995, 12, 17), 180.0, 1),
+    (2, "cust2", "col_shirts", datetime.date(1995, 12, 18), 25.0, 2),
+    (2, "cust2", "brown_boots", datetime.date(1995, 12, 18), 150.0, 1),
+    (2, "cust2", "jackets", datetime.date(1995, 12, 18), 300.0, 1),
+    (3, "cust1", "jackets", datetime.date(1995, 12, 18), 300.0, 1),
+    (4, "cust2", "col_shirts", datetime.date(1995, 12, 19), 25.0, 3),
+    (4, "cust2", "jackets", datetime.date(1995, 12, 19), 300.0, 2),
+]
+
+
+def test_fig1_rows_match_paper_exactly():
+    assert figure1_rows() == EXPECTED
+
+
+def test_fig1_load_and_scan(benchmark):
+    def load_and_scan():
+        db = Database()
+        load_purchase_figure1(db)
+        return db.query("SELECT tr, customer, item, date, price, qty "
+                        "FROM Purchase")
+
+    rows = benchmark(load_and_scan)
+    assert rows == EXPECTED
+
+
+def test_fig1_print_table(purchase_db):
+    """Regenerates the printed Figure 1 (visible with pytest -s)."""
+    table = purchase_db.table("Purchase")
+    rendered = table.pretty()
+    print("\nFigure 1: the Purchase table")
+    print(rendered)
+    assert rendered.count("\n") >= 11  # 8 rows + frame
+    for item in ("ski_pants", "hiking_boots", "col_shirts", "brown_boots",
+                 "jackets"):
+        assert item in rendered

@@ -1,0 +1,82 @@
+"""SYN-8 — scale-up with database size.
+
+The algorithm papers behind the core operator all report the
+"execution time vs number of transactions" figure; this experiment
+reproduces its shape for the *whole* tightly-coupled pipeline: with a
+fixed support fraction, time should grow near-linearly in |D| (the
+per-group work is constant; the encode joins and the gid-list
+intersections are linear scans at fixed selectivity).
+"""
+
+import time
+
+import pytest
+
+from repro import MiningSystem
+from repro.datagen import QuestParameters, load_quest
+from repro.sqlengine import Database
+
+SIZES = (100, 200, 400)
+
+STATEMENT = """
+MINE RULE Scale AS
+SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+FROM Baskets
+GROUP BY tid
+EXTRACTING RULES WITH SUPPORT: 0.05, CONFIDENCE: 0.4
+"""
+
+
+def run_at_size(transactions: int):
+    db = Database()
+    load_quest(
+        db,
+        QuestParameters(
+            transactions=transactions,
+            avg_transaction_size=7,
+            avg_pattern_size=3,
+            patterns=40,
+            items=100,
+            seed=5,
+        ),
+    )
+    system = MiningSystem(database=db, reuse_preprocessing=False)
+    started = time.perf_counter()
+    result = system.execute(STATEMENT)
+    elapsed = time.perf_counter() - started
+    return elapsed, result
+
+
+def test_syn8_scaleup_shape():
+    timings = []
+    for size in SIZES:
+        elapsed, result = run_at_size(size)
+        timings.append((size, elapsed, len(result.rules)))
+    print("\nSYN-8 scale-up (|D|, seconds, rules):")
+    for size, elapsed, rules in timings:
+        print(f"  {size:>5}  {elapsed:7.3f}s  {rules:>5}")
+    # shape: growing |D| must not be sub-linear by much nor explode:
+    # quadrupling the data should cost between 1.5x and ~16x
+    ratio = timings[-1][1] / max(timings[0][1], 1e-9)
+    assert 1.2 < ratio < 30, ratio
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_syn8_pipeline_at_size(benchmark, size):
+    db = Database()
+    load_quest(
+        db,
+        QuestParameters(
+            transactions=size,
+            avg_transaction_size=7,
+            avg_pattern_size=3,
+            patterns=40,
+            items=100,
+            seed=5,
+        ),
+    )
+    system = MiningSystem(database=db, reuse_preprocessing=False)
+    result = benchmark.pedantic(
+        lambda: system.execute(STATEMENT), rounds=3, iterations=1
+    )
+    assert result.rules

@@ -1,0 +1,129 @@
+"""SYN-5 — SQL engine micro-benchmarks.
+
+The preprocessing queries Q0..Q11 lean on a handful of relational
+primitives: scans with filters, hash equi-joins, grouping with HAVING,
+DISTINCT projection and sequence-tagged INSERT..SELECT.  This module
+measures each primitive at the scale the SYN experiments use, so
+regressions in the substrate are visible independently of the mining
+layers.
+"""
+
+import pytest
+
+from repro.sqlengine import Database
+
+ROWS = 5_000
+GROUPS = 250
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE facts (gid INTEGER, item VARCHAR, price REAL)"
+    )
+    table = database.table("facts")
+    for i in range(ROWS):
+        table.insert((i % GROUPS, f"item{i % 97}", float(i % 400)))
+    database.execute("CREATE TABLE dim (gid INTEGER, label VARCHAR)")
+    dim = database.table("dim")
+    for g in range(GROUPS):
+        dim.insert((g, f"group{g}"))
+    return database
+
+
+def test_syn5_filtered_scan(benchmark, db):
+    rows = benchmark(
+        lambda: db.query("SELECT item FROM facts WHERE price >= 200")
+    )
+    expected = sum(1 for i in range(ROWS) if (i % 400) >= 200)
+    assert len(rows) == expected
+
+
+def test_syn5_hash_join(benchmark, db):
+    rows = benchmark(
+        lambda: db.query(
+            "SELECT f.item, d.label FROM facts f, dim d WHERE f.gid = d.gid"
+        )
+    )
+    assert len(rows) == ROWS
+
+
+def test_syn5_group_by_having(benchmark, db):
+    rows = benchmark(
+        lambda: db.query(
+            "SELECT item, COUNT(*) FROM facts GROUP BY item "
+            "HAVING COUNT(*) >= 10"
+        )
+    )
+    assert rows
+
+
+def test_syn5_distinct_projection(benchmark, db):
+    rows = benchmark(
+        lambda: db.query("SELECT DISTINCT gid, item FROM facts")
+    )
+    assert len(rows) <= ROWS
+
+
+def test_syn5_insert_select_with_sequence(benchmark, db):
+    counter = iter(range(100_000))
+
+    def encode():
+        n = next(counter)
+        db.execute(f"CREATE SEQUENCE seq{n}")
+        db.execute(
+            f"INSERT INTO enc{n} (SELECT seq{n}.NEXTVAL AS id, item "
+            f"FROM (SELECT DISTINCT item FROM facts) t)"
+        )
+        return db.execute(f"SELECT COUNT(*) FROM enc{n}").scalar()
+
+    count = benchmark(encode)
+    assert count == 97
+
+
+def test_syn5_three_way_encode_join(benchmark, db):
+    """The Q4 shape: Source x ValidGroups x Bset."""
+    db.execute("DROP TABLE IF EXISTS items")
+    db.execute(
+        "INSERT INTO items (SELECT 1 AS dummy, item FROM "
+        "(SELECT DISTINCT item FROM facts) t)"
+    )
+
+    def q4_shape():
+        return db.query(
+            "SELECT DISTINCT d.gid, i.item FROM facts f, dim d, items i "
+            "WHERE f.gid = d.gid AND f.item = i.item"
+        )
+
+    rows = benchmark(q4_shape)
+    assert rows
+
+
+def test_syn5_indexed_point_lookup(benchmark, db):
+    if not db.catalog.has_table("facts_indexed"):
+        db.execute(
+            "INSERT INTO facts_indexed (SELECT gid, item, price FROM facts)"
+        )
+        db.execute("CREATE INDEX fi_gid ON facts_indexed (gid)")
+    counter = iter(range(10**9))
+
+    def lookup():
+        g = next(counter) % GROUPS
+        return db.query(
+            "SELECT item FROM facts_indexed WHERE gid = :g", {"g": g}
+        )
+
+    rows = benchmark(lookup)
+    assert rows
+
+
+def test_syn5_unindexed_point_lookup(benchmark, db):
+    counter = iter(range(10**9))
+
+    def lookup():
+        g = next(counter) % GROUPS
+        return db.query("SELECT item FROM facts WHERE gid = :g", {"g": g})
+
+    rows = benchmark(lookup)
+    assert rows

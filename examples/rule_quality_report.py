@@ -1,0 +1,53 @@
+"""Session report with extended rule-quality measures.
+
+Runs a MINE RULE statement on the synthetic store, computes lift /
+leverage / conviction from the encoded tables (no rescan of the source
+— a benefit of keeping everything in the DBMS), persists them as
+``BasketRules_Metrics`` and prints the full session report sorted by
+lift.
+
+Run:  python examples/rule_quality_report.py
+"""
+
+from repro import MiningSystem
+from repro.datagen import load_purchase_synthetic
+from repro.report import ReportOptions, render_report
+
+STATEMENT = """
+MINE RULE BasketRules AS
+SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+FROM Purchase
+GROUP BY customer
+EXTRACTING RULES WITH SUPPORT: 0.12, CONFIDENCE: 0.4
+"""
+
+
+def main() -> None:
+    system = MiningSystem(algorithm="auto")
+    load_purchase_synthetic(system.db, customers=80, days=8, seed=29)
+
+    result = system.execute(STATEMENT)
+    metrics = system.compute_metrics(result, store=True)
+
+    print(render_report(
+        system,
+        result,
+        metrics,
+        ReportOptions(top=12, sort_by="lift"),
+    ))
+
+    print("\nThe measures are relations too — rules that beat independence "
+          "by 2x:")
+    rows = system.db.execute(
+        "SELECT R.BodyId, R.HeadId, R.CONFIDENCE, M.LIFT "
+        "FROM BasketRules R, BasketRules_Metrics M "
+        "WHERE R.BodyId = M.BodyId AND R.HeadId = M.HeadId "
+        "AND M.LIFT >= 2 ORDER BY M.LIFT DESC LIMIT 5"
+    )
+    print(rows.pretty())
+    print(f"core algorithm chosen by the selector: "
+          f"{system.algorithm.last_choice}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a tightly-coupled architecture for data mining.
+
+Reproduction of R. Meo, G. Psaila, S. Ceri, *A Tightly-Coupled
+Architecture for Data Mining* (ICDE 1998): the MINE RULE operator
+executed on top of a SQL server, with the relational part of the work
+translated to SQL (queries Q0..Q11) and the mining part performed by a
+specialized core operator.
+
+Quickstart::
+
+    from repro import Database, MiningSystem
+    from repro.datagen import load_purchase_figure1
+
+    system = MiningSystem()
+    load_purchase_figure1(system.db)
+    result = system.execute('''
+        MINE RULE SimpleAssociations AS
+        SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD,
+               SUPPORT, CONFIDENCE
+        FROM Purchase
+        GROUP BY customer
+        EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5
+    ''')
+    for rule in result.rules:
+        print(rule)
+"""
+
+from repro.sqlengine import Database
+from repro.system import MiningResult, MiningSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "MiningResult", "MiningSystem", "__version__"]

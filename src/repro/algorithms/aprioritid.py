@@ -1,0 +1,86 @@
+"""AprioriTid (Agrawal & Srikant, VLDB 1994).
+
+Instead of rescanning the groups on every pass, the database is
+re-encoded after each level: pass ``k`` represents every group by the
+set of level-``k`` candidate itemsets it contains (the :math:`\\bar
+C_k` structure of the original paper).  Groups containing no candidate
+drop out, so later passes scan progressively less data — the property
+that made AprioriTid attractive for the late iterations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.algorithms.base import (
+    FrequentItemsetMiner,
+    GroupMap,
+    ItemsetCounts,
+    register_algorithm,
+)
+
+
+@register_algorithm
+class AprioriTid(FrequentItemsetMiner):
+    """Levelwise mining over the candidate-id re-encoding."""
+
+    name = "aprioritid"
+
+    def mine(self, groups: GroupMap, min_count: int) -> ItemsetCounts:
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        counts: ItemsetCounts = {}
+
+        # Pass 1: count singletons directly.
+        item_counts: Dict[int, int] = {}
+        for items in groups.values():
+            for item in items:
+                item_counts[item] = item_counts.get(item, 0) + 1
+        frequent1 = [
+            (item,) for item, count in item_counts.items() if count >= min_count
+        ]
+        for itemset in frequent1:
+            counts[frozenset(itemset)] = item_counts[itemset[0]]
+
+        # \bar C_1: group -> set of frequent singleton candidates present.
+        frequent1_set = {t[0] for t in frequent1}
+        encoded: Dict[int, Dict[Tuple[int, ...], None]] = {}
+        for gid, items in groups.items():
+            present = {(item,): None for item in items if item in frequent1_set}
+            if present:
+                encoded[gid] = present
+
+        frequent = frequent1
+        while frequent:
+            candidates = self.join_candidates(frequent)
+            if not candidates:
+                break
+            # Index candidates by their two generating (k-1)-subsets.
+            generators: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], ...]] = {}
+            for candidate in candidates:
+                first = candidate[:-1]
+                second = candidate[:-2] + candidate[-1:]
+                generators[candidate] = (first, second)
+
+            candidate_counts: Dict[Tuple[int, ...], int] = {}
+            next_encoded: Dict[int, Dict[Tuple[int, ...], None]] = {}
+            for gid, present in encoded.items():
+                found: Dict[Tuple[int, ...], None] = {}
+                for candidate, (first, second) in generators.items():
+                    if first in present and second in present:
+                        found[candidate] = None
+                        candidate_counts[candidate] = (
+                            candidate_counts.get(candidate, 0) + 1
+                        )
+                if found:
+                    next_encoded[gid] = found
+            frequent = [
+                candidate
+                for candidate, count in candidate_counts.items()
+                if count >= min_count
+            ]
+            for candidate in frequent:
+                counts[frozenset(candidate)] = candidate_counts[candidate]
+            encoded = next_encoded
+        return counts

@@ -1,0 +1,117 @@
+"""Common interface and registry for the mining-algorithm pool.
+
+The interface deliberately mirrors the paper's encoding borderline: an
+algorithm sees only *group identifiers* and *item identifiers* (the
+``Gid``/``Bid`` columns of the ``CodedSource`` table), never the source
+data.  This is what makes the pool interchangeable ("algorithms are
+completely hidden to the rest of the system", Section 3).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple, Type
+
+#: encoded input: group id -> set of item ids present in the group
+GroupMap = Mapping[int, FrozenSet[int]]
+
+#: result: itemset -> number of groups containing it (only itemsets with
+#: count >= the threshold are present)
+ItemsetCounts = Dict[FrozenSet[int], int]
+
+
+class FrequentItemsetMiner(abc.ABC):
+    """A frequent ("large") itemset mining algorithm.
+
+    Subclasses must be deterministic: given the same input they return
+    the same counts (randomized algorithms take an explicit seed).
+    """
+
+    #: registry key; subclasses override
+    name: str = ""
+
+    @abc.abstractmethod
+    def mine(self, groups: GroupMap, min_count: int) -> ItemsetCounts:
+        """Return every itemset contained in at least ``min_count``
+        groups, mapped to its exact group count.
+
+        ``min_count`` must be at least 1; an itemset's count is the
+        number of *groups* (not tuples) containing all of its items,
+        matching the support semantics of the MINE RULE operator.
+        """
+
+    # -- shared helpers -----------------------------------------------------
+
+    @staticmethod
+    def item_gid_lists(groups: GroupMap) -> Dict[int, Set[int]]:
+        """Invert the group map: item id -> set of group ids.
+
+        This is the "associated list that contains identifiers of
+        groups in which the itemset is present" of Section 4.3.1,
+        for singleton itemsets.
+        """
+        lists: Dict[int, Set[int]] = {}
+        for gid, items in groups.items():
+            for item in items:
+                lists.setdefault(item, set()).add(gid)
+        return lists
+
+    @staticmethod
+    def join_candidates(
+        frequent: Iterable[Tuple[int, ...]],
+    ) -> List[Tuple[int, ...]]:
+        """Apriori candidate generation: join k-itemsets sharing a
+        (k-1)-prefix, then prune candidates with an infrequent
+        k-subset.  Itemsets are sorted tuples."""
+        frequent = sorted(frequent)
+        frequent_set = set(frequent)
+        candidates: List[Tuple[int, ...]] = []
+        by_prefix: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        for itemset in frequent:
+            by_prefix.setdefault(itemset[:-1], []).append(itemset)
+        for siblings in by_prefix.values():
+            for a, b in itertools.combinations(siblings, 2):
+                candidate = a + (b[-1],) if a[-1] < b[-1] else b + (a[-1],)
+                if FrequentItemsetMiner._all_subsets_frequent(
+                    candidate, frequent_set
+                ):
+                    candidates.append(candidate)
+        return candidates
+
+    @staticmethod
+    def _all_subsets_frequent(
+        candidate: Tuple[int, ...], frequent: Set[Tuple[int, ...]]
+    ) -> bool:
+        for drop in range(len(candidate)):
+            subset = candidate[:drop] + candidate[drop + 1 :]
+            if subset not in frequent:
+                return False
+        return True
+
+
+#: name -> class registry of available algorithms
+ALGORITHMS: Dict[str, Type[FrequentItemsetMiner]] = {}
+
+
+def register_algorithm(cls: Type[FrequentItemsetMiner]) -> Type[FrequentItemsetMiner]:
+    """Class decorator adding an algorithm to the pool."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a registry name")
+    ALGORITHMS[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str, **kwargs) -> FrequentItemsetMiner:
+    """Instantiate a pool algorithm by name.
+
+    Raises :class:`KeyError` with the available names on a miss.
+    """
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mining algorithm {name!r}; "
+            f"available: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,99 @@
+"""Automatic algorithm selection for the simple core.
+
+Section 3: the core operator "uses directives from the translator to
+decide the mining technique to apply [...] typically each of them has
+better performance under specific assumptions about data and rule
+distribution."  This module implements that decision as a documented,
+testable heuristic over cheap statistics of the encoded input:
+
+* tiny inputs            -> plain Apriori (setup costs dominate);
+* dense groups (high average items/group relative to the threshold)
+  -> DHP, whose hash filter prunes the explosive pair-candidate level;
+* many groups with low density -> Partition, which bounds passes over
+  the large input;
+* otherwise              -> Apriori with gid-lists (the default that
+  wins on memory-resident data).
+
+The heuristic never affects the *result* (the pool is exact); it only
+trades running time, so the selector is safe to use by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.apriori import Apriori
+from repro.algorithms.base import FrequentItemsetMiner, GroupMap
+from repro.algorithms.dhp import DirectHashingPruning
+from repro.algorithms.partition import Partition
+
+
+@dataclass(frozen=True)
+class InputStatistics:
+    """Cheap one-pass statistics of an encoded input."""
+
+    groups: int
+    distinct_items: int
+    total_entries: int
+
+    @property
+    def average_group_size(self) -> float:
+        return self.total_entries / self.groups if self.groups else 0.0
+
+    @classmethod
+    def of(cls, encoded: GroupMap) -> "InputStatistics":
+        items = set()
+        total = 0
+        for group_items in encoded.values():
+            items.update(group_items)
+            total += len(group_items)
+        return cls(
+            groups=len(encoded),
+            distinct_items=len(items),
+            total_entries=total,
+        )
+
+
+#: below this many groups, algorithm choice is irrelevant
+_TINY_GROUPS = 50
+#: average group size beyond which the pair level explodes
+_DENSE_AVERAGE = 12.0
+#: group count beyond which pass-bounding pays off on sparse data
+_MANY_GROUPS = 5_000
+
+
+def select_algorithm(
+    statistics: InputStatistics, min_count: int
+) -> FrequentItemsetMiner:
+    """Pick a pool algorithm for the given input shape."""
+    if statistics.groups <= _TINY_GROUPS:
+        return Apriori()
+    if statistics.average_group_size >= _DENSE_AVERAGE:
+        return DirectHashingPruning()
+    if statistics.groups >= _MANY_GROUPS:
+        return Partition()
+    return Apriori()
+
+
+class AutoSelect(FrequentItemsetMiner):
+    """Pool member that defers to :func:`select_algorithm` per input.
+
+    Registered as ``"auto"`` so ``MiningSystem(algorithm="auto")`` and
+    the CLI's ``.algorithm auto`` both work.
+    """
+
+    name = "auto"
+
+    def __init__(self) -> None:
+        #: the concrete algorithm chosen on the last run (observability)
+        self.last_choice: str = ""
+
+    def mine(self, groups: GroupMap, min_count: int):
+        chosen = select_algorithm(InputStatistics.of(groups), min_count)
+        self.last_choice = chosen.name
+        return chosen.mine(groups, min_count)
+
+
+from repro.algorithms.base import register_algorithm  # noqa: E402
+
+register_algorithm(AutoSelect)

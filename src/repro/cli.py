@@ -1,0 +1,286 @@
+"""Command-line shell for the mining system.
+
+The paper delegates user support to the AMORE environment [4]; this
+module provides the equivalent entry point for the reproduction: an
+interactive (or scripted) shell that accepts both SQL and MINE RULE
+statements against one embedded database.
+
+Usage::
+
+    python -m repro                       # interactive
+    python -m repro -c ".load purchase" -c "SELECT * FROM Purchase"
+    python -m repro -f session.sql        # run a script
+
+Statements end with ``;`` (or a lone line for meta commands).  Meta
+commands start with a dot:
+
+=====================  ==================================================
+``.help``              this text
+``.tables``            list tables and views
+``.schema NAME``       columns of a table
+``.load SCENARIO``     load a dataset: purchase | purchase-synthetic |
+                       quest | clicks | telecom
+``.algorithm NAME``    select the pool algorithm for simple rules
+``.explain SQL``       show the physical plan of a SELECT
+``.report [SORT]``     full report of the last MINE RULE run
+                       (sort: support | confidence | lift)
+``.dump DIR``          persist the database to a directory
+``.restore DIR``       load a previously dumped database
+``.experiments``       run the full reproduction suite (FIG/SYN)
+``.timing on|off``     print per-statement wall time
+``.quit``              leave the shell
+=====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.algorithms import ALGORITHMS
+from repro.datagen import (
+    QuestParameters,
+    load_clickstream,
+    load_purchase_figure1,
+    load_purchase_synthetic,
+    load_quest,
+    load_telecom,
+)
+from repro.minerule.errors import MineRuleError
+from repro.sqlengine.errors import SqlError
+from repro.system import MiningSystem
+
+#: scenario name -> loader(db) used by ``.load``
+SCENARIOS: Dict[str, Callable] = {
+    "purchase": load_purchase_figure1,
+    "purchase-synthetic": load_purchase_synthetic,
+    "quest": lambda db: load_quest(db, QuestParameters()),
+    "clicks": load_clickstream,
+    "telecom": load_telecom,
+}
+
+
+class Shell:
+    """Stateful shell: one mining system, one database.
+
+    ``execute`` returns the text that would be printed, which keeps the
+    shell fully testable without capturing stdout.
+    """
+
+    def __init__(self, algorithm: str = "apriori"):
+        self.system = MiningSystem(algorithm=algorithm)
+        self.timing = False
+        self._buffer: List[str] = []
+        #: result of the last MINE RULE statement (for ``.report``)
+        self.last_result = None
+
+    @property
+    def db(self):
+        return self.system.db
+
+    # -- statement interface -------------------------------------------
+
+    def feed(self, line: str) -> Optional[str]:
+        """Feed one input line; returns output once a full statement
+        (terminated by ``;``) or meta command has accumulated."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            return self.execute(stripped)
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            return self.execute(statement)
+        return None
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._buffer)
+
+    def execute(self, text: str) -> str:
+        """Execute one complete statement or meta command."""
+        text = text.strip().rstrip(";").strip()
+        if not text:
+            return ""
+        try:
+            started = time.perf_counter()
+            if text.startswith("."):
+                output = self._meta(text)
+            elif text.upper().startswith("MINE"):
+                output = self._mine(text)
+            else:
+                output = self._sql(text)
+            if self.timing:
+                elapsed = (time.perf_counter() - started) * 1000
+                output = f"{output}\n({elapsed:.1f} ms)" if output else (
+                    f"({elapsed:.1f} ms)"
+                )
+            return output
+        except (SqlError, MineRuleError, KeyError, ValueError) as exc:
+            return f"error: {exc}"
+
+    # -- statement kinds --------------------------------------------------
+
+    def _sql(self, text: str) -> str:
+        result = self.db.execute(text)
+        if result.columns:
+            return f"{result.pretty(limit=50)}\n({len(result)} rows)"
+        return f"ok ({result.rowcount} rows affected)"
+
+    def _mine(self, text: str) -> str:
+        result = self.system.execute(text)
+        self.last_result = result
+        out = result.statement.output_table
+        lines = [
+            f"directives: {result.directives}",
+            f"{len(result.rules)} rules -> {out}, {out}_Bodies, "
+            f"{out}_Heads, {out}_Display",
+        ]
+        if self.db.catalog.has_table(f"{out}_Display"):
+            lines.append(self.db.table(f"{out}_Display").pretty(limit=25))
+        return "\n".join(lines)
+
+    # -- meta commands -----------------------------------------------------
+
+    def _meta(self, text: str) -> str:
+        parts = text.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in (".help", ".h"):
+            return __doc__.split("Usage::", 1)[1]
+        if command == ".tables":
+            tables = sorted(t.name for t in self.db.catalog.tables())
+            views = sorted(v.name for v in self.db.catalog.views())
+            lines = [f"  {name}" for name in tables]
+            lines += [f"  {name} (view)" for name in views]
+            return "\n".join(lines) if lines else "(no tables)"
+        if command == ".schema":
+            if not argument:
+                return "usage: .schema TABLE"
+            described = self.db.catalog.describe(argument)
+            return "\n".join(
+                f"  {name} {ctype or '?'}" for name, ctype in described
+            )
+        if command == ".load":
+            loader = SCENARIOS.get(argument)
+            if loader is None:
+                return (
+                    f"unknown scenario {argument!r}; "
+                    f"available: {', '.join(sorted(SCENARIOS))}"
+                )
+            table = loader(self.db)
+            self.system.invalidate_preprocessing()
+            return f"loaded {table.name} ({len(table)} rows)"
+        if command == ".algorithm":
+            if argument not in ALGORITHMS:
+                return (
+                    f"unknown algorithm {argument!r}; "
+                    f"available: {', '.join(sorted(ALGORITHMS))}"
+                )
+            from repro.algorithms import get_algorithm
+
+            self.system.algorithm = get_algorithm(argument)
+            return f"core algorithm set to {argument}"
+        if command == ".explain":
+            if not argument:
+                return "usage: .explain SELECT ..."
+            return self.db.explain(argument)
+        if command == ".experiments":
+            from repro.experiments import generate_report
+
+            return generate_report()
+        if command == ".report":
+            if self.last_result is None:
+                return "no MINE RULE statement executed yet"
+            from repro.report import ReportOptions, render_report
+
+            sort_by = argument or "support"
+            metrics = self.system.compute_metrics(
+                self.last_result, store=False
+            )
+            return render_report(
+                self.system,
+                self.last_result,
+                metrics,
+                ReportOptions(sort_by=sort_by),
+            )
+        if command == ".dump":
+            if not argument:
+                return "usage: .dump DIRECTORY"
+            from repro.sqlengine.dump import dump_database
+
+            target = dump_database(self.db, argument)
+            return f"dumped catalog to {target}"
+        if command == ".restore":
+            if not argument:
+                return "usage: .restore DIRECTORY"
+            from repro.sqlengine.dump import load_database
+
+            self.system = MiningSystem(
+                database=load_database(argument),
+                algorithm=self.system.algorithm,
+            )
+            return f"restored catalog from {argument}"
+        if command == ".timing":
+            self.timing = argument.lower() == "on"
+            return f"timing {'on' if self.timing else 'off'}"
+        if command in (".quit", ".exit", ".q"):
+            raise EOFError
+        return f"unknown command {command!r}; try .help"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MINE RULE shell (tightly-coupled data mining)",
+    )
+    parser.add_argument(
+        "-c", "--command", action="append", default=[],
+        help="statement to run (repeatable); skips the interactive loop",
+    )
+    parser.add_argument(
+        "-f", "--file", help="run statements from a script file"
+    )
+    parser.add_argument(
+        "--algorithm", default="apriori",
+        choices=sorted(ALGORITHMS),
+        help="pool algorithm for simple rules",
+    )
+    args = parser.parse_args(argv)
+
+    shell = Shell(algorithm=args.algorithm)
+    if args.command or args.file:
+        statements = list(args.command)
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                statements.extend(
+                    chunk.strip()
+                    for chunk in handle.read().split(";")
+                    if chunk.strip()
+                )
+        for statement in statements:
+            output = shell.execute(statement)
+            if output:
+                print(output)
+        return 0
+
+    print("repro MINE RULE shell — .help for commands, .quit to exit")
+    while True:
+        prompt = "   ...> " if shell.pending else "repro> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = shell.feed(line)
+        except EOFError:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

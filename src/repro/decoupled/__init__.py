@@ -1,0 +1,34 @@
+"""The decoupled (loosely-coupled) baseline architecture.
+
+The introduction of the paper describes the approach "followed by
+several products": a data mining tool executes on data *previously
+extracted from the database and transformed into a suitable format*.
+This package implements that baseline faithfully so the benchmarks can
+compare it against the tightly-coupled system:
+
+1. :mod:`repro.decoupled.extractor` — queries the SQL server and dumps
+   the result to a flat file (the analyst's "long preparation for
+   extracting data");
+2. :mod:`repro.decoupled.encoder` — re-reads the flat file and encodes
+   items/groups inside the tool ("preparing data by means of explicit
+   encoding");
+3. :mod:`repro.decoupled.miner` — a standalone mining engine whose
+   results live in tool memory / an export file, *not* in the database
+   ("once extracted, rules are contained in the data mining tool").
+
+:class:`~repro.decoupled.workflow.DecoupledWorkflow` chains the steps.
+"""
+
+from repro.decoupled.encoder import FlatFileEncoder
+from repro.decoupled.extractor import FlatFileExtractor
+from repro.decoupled.miner import StandaloneMiner, ToolRule
+from repro.decoupled.workflow import DecoupledWorkflow, WorkflowReport
+
+__all__ = [
+    "DecoupledWorkflow",
+    "FlatFileEncoder",
+    "FlatFileExtractor",
+    "StandaloneMiner",
+    "ToolRule",
+    "WorkflowReport",
+]

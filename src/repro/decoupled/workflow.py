@@ -1,0 +1,116 @@
+"""The full decoupled workflow, instrumented for the SYN-1 benchmark."""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.decoupled.encoder import FlatFileEncoder
+from repro.decoupled.extractor import FlatFileExtractor
+from repro.decoupled.miner import StandaloneMiner, ToolRule
+from repro.sqlengine.engine import Database
+
+
+@dataclass
+class WorkflowReport:
+    """Outcome and per-step timings of one decoupled run."""
+
+    rules: List[ToolRule]
+    timings: Dict[str, float] = field(default_factory=dict)
+    extracted_rows: int = 0
+    flat_file: Optional[Path] = None
+    export_file: Optional[Path] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+
+class DecoupledWorkflow:
+    """extract -> prepare -> mine -> export, with files in between."""
+
+    def __init__(self, database: Database, algorithm: str = "apriori"):
+        self._db = database
+        self._extractor = FlatFileExtractor(database)
+        self._encoder = FlatFileEncoder()
+        self._miner = StandaloneMiner(algorithm)
+
+    def run(
+        self,
+        extraction_query: str,
+        group_column: str,
+        item_column: str,
+        min_support: float,
+        min_confidence: float,
+        workdir: Optional[Path] = None,
+        export: bool = True,
+    ) -> WorkflowReport:
+        """Execute the whole decoupled pipeline.
+
+        When *workdir* is None a temporary directory holds the
+        intermediate files (they are what makes the approach
+        decoupled, so they are always really written).
+        """
+        if workdir is None:
+            with tempfile.TemporaryDirectory(prefix="decoupled_") as tmp:
+                return self._run_in(
+                    Path(tmp),
+                    extraction_query,
+                    group_column,
+                    item_column,
+                    min_support,
+                    min_confidence,
+                    export,
+                )
+        return self._run_in(
+            workdir,
+            extraction_query,
+            group_column,
+            item_column,
+            min_support,
+            min_confidence,
+            export,
+        )
+
+    def _run_in(
+        self,
+        workdir: Path,
+        extraction_query: str,
+        group_column: str,
+        item_column: str,
+        min_support: float,
+        min_confidence: float,
+        export: bool,
+    ) -> WorkflowReport:
+        timings: Dict[str, float] = {}
+        flat_file = workdir / "extracted.tsv"
+
+        started = time.perf_counter()
+        extracted = self._extractor.extract(extraction_query, flat_file)
+        timings["extract"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        dataset = self._encoder.encode(flat_file, group_column, item_column)
+        timings["prepare"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        rules = self._miner.mine(dataset, min_support, min_confidence)
+        timings["mine"] = time.perf_counter() - started
+
+        export_file: Optional[Path] = None
+        if export:
+            export_file = workdir / "rules.tsv"
+            started = time.perf_counter()
+            self._miner.export(export_file)
+            timings["export"] = time.perf_counter() - started
+
+        return WorkflowReport(
+            rules=rules,
+            timings=timings,
+            extracted_rows=extracted,
+            flat_file=flat_file,
+            export_file=export_file,
+        )

@@ -1,0 +1,29 @@
+"""The kernel of the tightly-coupled mining system (Section 3).
+
+Components, in process-flow order (Figure 3a):
+
+1. :mod:`repro.kernel.translator` — interprets the MINE RULE statement,
+   checks it against the data dictionary, classifies it and produces
+   the SQL translation programs plus core/postprocessor directives;
+2. :mod:`repro.kernel.preprocessor` — runs the programs on the SQL
+   server, producing the encoded tables (Figure 4);
+3. :mod:`repro.kernel.core` — the non-SQL core operator, with the
+   *simple* and *general* variants of Section 4.3;
+4. :mod:`repro.kernel.postprocessor` — decodes the encoded rules into
+   the user-readable output relations (Section 4.4).
+"""
+
+from repro.kernel.names import Workspace
+from repro.kernel.program import TranslationProgram, TranslationQuery
+from repro.kernel.translator import Translator
+from repro.kernel.preprocessor import Preprocessor
+from repro.kernel.postprocessor import Postprocessor
+
+__all__ = [
+    "Postprocessor",
+    "Preprocessor",
+    "TranslationProgram",
+    "TranslationQuery",
+    "Translator",
+    "Workspace",
+]

@@ -1,0 +1,29 @@
+"""The core operator (Section 4.3).
+
+"The core operator performs the actual discovery of the association
+rules that satisfy the mining request; it incorporates all those
+computations which cannot efficiently be programmed as SQL queries."
+
+Two variants exist, selected by the translator's directives:
+
+* :class:`~repro.kernel.core.simple.SimpleCoreOperator` — classic
+  large-itemset mining (Section 4.3.1), delegating the itemset phase
+  to a pluggable algorithm from :mod:`repro.algorithms`;
+* :class:`~repro.kernel.core.general.GeneralCoreOperator` — the m x n
+  rule lattice over elementary rules (Section 4.3.2), supporting
+  clusters, cluster-pair selection and SQL-evaluated mining conditions.
+"""
+
+from repro.kernel.core.general import GeneralCoreOperator
+from repro.kernel.core.inputs import CoreInputLoader, GeneralInput, SimpleInput
+from repro.kernel.core.rules import EncodedRule
+from repro.kernel.core.simple import SimpleCoreOperator
+
+__all__ = [
+    "CoreInputLoader",
+    "EncodedRule",
+    "GeneralCoreOperator",
+    "GeneralInput",
+    "SimpleCoreOperator",
+    "SimpleInput",
+]

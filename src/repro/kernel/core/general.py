@@ -1,0 +1,315 @@
+"""General core processing (Section 4.3.2): the m x n rule lattice.
+
+"With general association rules, the core operator starts from the
+initial set of large elementary rules, and proceeds discovering rules
+with bodies and heads of arbitrary cardinality [...]  given the set of
+rules m x n [...] the algorithm computes the set of rules (m+1) x n and
+the set of rules m x (n+1), from which rules with insufficient support
+are pruned.  [...]  The efficiency of the algorithm is maximized if, at
+each step, we start from the set with lower cardinality."
+
+Key data structure: every rule carries the set of ``(group, body
+cluster, head cluster)`` triples supporting it.  Extending a rule
+intersects the parents' triple sets, which is *exact*:
+``(B1 u B2) x H`` is contained in a cluster pair iff both ``B1 x H``
+and ``B2 x H`` are.  This is the lattice counterpart of the group-id
+lists of Section 4.3.1.
+
+Elementary rules come either from the ``InputRules`` table (when the
+mining condition was evaluated in SQL by queries Q8-Q10) or are derived
+here from ``CodedSource`` + ``ClusterCouples``: "the core operator
+itself performs the precomputation of elementary rules, which
+conceptually requires the building of the cartesian product of the
+source tuples belonging to the same group [...]  The cartesian product
+is not materialized" — we enumerate it lazily per cluster pair.
+
+Confidence uses body occurrences from ``CodedSource`` only ("all body
+clusters are used for computing confidence", Section 2): a group counts
+for the body B iff B is contained in a single body cluster, regardless
+of whether that cluster pairs with any head cluster.  This reproduces
+Figure 2b exactly (confidence 0.5 for {jackets} => {col_shirts}).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.kernel.core.inputs import GeneralInput
+from repro.kernel.core.rules import EncodedRule
+from repro.kernel.program import CoreDirectives
+
+_EPSILON = 1e-12
+
+#: a rule key: (sorted body ids, sorted head ids)
+RuleKey = Tuple[Tuple[int, ...], Tuple[int, ...]]
+#: a supporting occurrence: (group id, body cluster id, head cluster id)
+Triple = Tuple[int, int, int]
+RuleSet = Dict[RuleKey, Set[Triple]]
+
+
+#: how _compute_set picks the parent when both exist (the "smaller"
+#: strategy is the paper's heuristic; the others exist for the
+#: ablation bench SYN-6)
+PARENT_STRATEGIES = ("smaller", "body", "head")
+
+
+class GeneralCoreOperator:
+    """Lattice mining over elementary rules.
+
+    ``parent_strategy`` selects which parent set generates a lattice
+    set reachable from two parents: ``"smaller"`` follows the paper
+    ("start from the set with lower cardinality"), ``"body"``/"head"``
+    always prefer the body/head parent — all three are correct, the
+    heuristic only affects the join work.
+    """
+
+    def __init__(self, parent_strategy: str = "smaller") -> None:
+        if parent_strategy not in PARENT_STRATEGIES:
+            raise ValueError(
+                f"unknown parent strategy {parent_strategy!r}; "
+                f"choose from {PARENT_STRATEGIES}"
+            )
+        self.parent_strategy = parent_strategy
+        #: observability: number of rules per lattice set, keyed (m, n)
+        self.lattice_sizes: Dict[Tuple[int, int], int] = {}
+        #: observability: join-candidate pairs examined during expansion
+        self.join_pairs_examined = 0
+
+    def run(
+        self, data: GeneralInput, directives: CoreDirectives
+    ) -> List[EncodedRule]:
+        self.lattice_sizes = {}
+        self.join_pairs_examined = 0
+        elementary = self._elementary_rules(data)
+        elementary = self._prune(elementary, data.min_count)
+        self.lattice_sizes[(1, 1)] = len(elementary)
+
+        body_min, body_max = directives.body_card
+        head_min, head_max = directives.head_card
+
+        lattice: Dict[Tuple[int, int], RuleSet] = {(1, 1): elementary}
+        frontier = [(1, 1)]
+        while frontier:
+            next_frontier: List[Tuple[int, int]] = []
+            for m, n in frontier:
+                current = lattice[(m, n)]
+                if not current:
+                    continue
+                if body_max is None or m + 1 <= body_max:
+                    self._compute_set(
+                        lattice, (m + 1, n), data.min_count, next_frontier
+                    )
+                if head_max is None or n + 1 <= head_max:
+                    self._compute_set(
+                        lattice, (m, n + 1), data.min_count, next_frontier
+                    )
+            frontier = next_frontier
+
+        return self._emit(lattice, data, directives)
+
+    # ------------------------------------------------------------------
+    # elementary rules
+    # ------------------------------------------------------------------
+
+    def _elementary_rules(self, data: GeneralInput) -> RuleSet:
+        supports: RuleSet = {}
+        if data.elementary is not None:
+            # Precomputed in SQL (queries Q8..Q10).
+            for gid, bcid, hcid, bid, hid in data.elementary:
+                key = ((bid,), (hid,))
+                supports.setdefault(key, set()).add((gid, bcid, hcid))
+            return supports
+
+        # Derived here: lazy cartesian product within valid cluster pairs.
+        for gid in data.body_items:
+            body_clusters = data.body_items.get(gid, {})
+            head_clusters = data.head_items.get(gid, {})
+            for bc, hc in data.group_cluster_pairs(gid):
+                body_ids = body_clusters.get(bc)
+                head_ids = head_clusters.get(hc)
+                if not body_ids or not head_ids:
+                    continue
+                exclude_equal = data.same_schema and bc == hc
+                triple = (gid, bc, hc)
+                for bid in body_ids:
+                    for hid in head_ids:
+                        if exclude_equal and bid == hid:
+                            continue
+                        key = ((bid,), (hid,))
+                        supports.setdefault(key, set()).add(triple)
+        return supports
+
+    @staticmethod
+    def _prune(rules: RuleSet, min_count: int) -> RuleSet:
+        return {
+            key: triples
+            for key, triples in rules.items()
+            if len({gid for gid, _, _ in triples}) >= min_count
+        }
+
+    # ------------------------------------------------------------------
+    # lattice expansion
+    # ------------------------------------------------------------------
+
+    def _compute_set(
+        self,
+        lattice: Dict[Tuple[int, int], RuleSet],
+        target: Tuple[int, int],
+        min_count: int,
+        frontier: List[Tuple[int, int]],
+    ) -> None:
+        """Compute rule set *target* once, from its smaller parent."""
+        if target in lattice:
+            return
+        m, n = target
+        parents: List[Tuple[Tuple[int, int], str]] = []
+        if m >= 2 and (m - 1, n) in lattice:
+            parents.append(((m - 1, n), "body"))
+        if n >= 2 and (m, n - 1) in lattice:
+            parents.append(((m, n - 1), "head"))
+        if not parents:
+            return
+        if self.parent_strategy == "smaller":
+            # "start from the set with lower cardinality"
+            parents.sort(key=lambda entry: len(lattice[entry[0]]))
+        elif self.parent_strategy == "head":
+            parents.sort(key=lambda entry: entry[1] != "head")
+        else:  # "body"
+            parents.sort(key=lambda entry: entry[1] != "body")
+        parent_key, direction = parents[0]
+        parent = lattice[parent_key]
+        if direction == "body":
+            result = self._extend_body(parent, min_count)
+        else:
+            result = self._extend_head(parent, min_count)
+        lattice[target] = result
+        self.lattice_sizes[target] = len(result)
+        if result:
+            frontier.append(target)
+
+    def _extend_body(self, rules: RuleSet, min_count: int) -> RuleSet:
+        """(m, n) -> (m+1, n): join rules sharing head and body prefix."""
+        siblings: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]],
+            List[Tuple[Tuple[int, ...], Set[Triple]]],
+        ] = {}
+        for (body, head), triples in rules.items():
+            siblings.setdefault((head, body[:-1]), []).append((body, triples))
+        out: RuleSet = {}
+        for (head, _prefix), entries in siblings.items():
+            entries.sort(key=lambda e: e[0])
+            for (b1, t1), (b2, t2) in itertools.combinations(entries, 2):
+                self.join_pairs_examined += 1
+                new_body = b1 + (b2[-1],)
+                shared = t1 & t2
+                if self._group_count(shared) >= min_count:
+                    out[(new_body, head)] = shared
+        return out
+
+    def _extend_head(self, rules: RuleSet, min_count: int) -> RuleSet:
+        """(m, n) -> (m, n+1): join rules sharing body and head prefix."""
+        siblings: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]],
+            List[Tuple[Tuple[int, ...], Set[Triple]]],
+        ] = {}
+        for (body, head), triples in rules.items():
+            siblings.setdefault((body, head[:-1]), []).append((head, triples))
+        out: RuleSet = {}
+        for (body, _prefix), entries in siblings.items():
+            entries.sort(key=lambda e: e[0])
+            for (h1, t1), (h2, t2) in itertools.combinations(entries, 2):
+                self.join_pairs_examined += 1
+                new_head = h1 + (h2[-1],)
+                shared = t1 & t2
+                if self._group_count(shared) >= min_count:
+                    out[(body, new_head)] = shared
+        return out
+
+    @staticmethod
+    def _group_count(triples: Set[Triple]) -> int:
+        return len({gid for gid, _, _ in triples})
+
+    # ------------------------------------------------------------------
+    # rule emission
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        lattice: Dict[Tuple[int, int], RuleSet],
+        data: GeneralInput,
+        directives: CoreDirectives,
+    ) -> List[EncodedRule]:
+        body_min, body_max = directives.body_card
+        head_min, head_max = directives.head_card
+        min_confidence = directives.min_confidence
+
+        body_occurrences = self._body_occurrence_index(data)
+        body_count_cache: Dict[Tuple[int, ...], int] = {}
+
+        rules: List[EncodedRule] = []
+        for (m, n), rule_set in lattice.items():
+            if m < body_min or (body_max is not None and m > body_max):
+                continue
+            if n < head_min or (head_max is not None and n > head_max):
+                continue
+            for (body, head), triples in rule_set.items():
+                support_count = self._group_count(triples)
+                body_count = self._body_count(
+                    body, body_occurrences, body_count_cache
+                )
+                confidence = (
+                    support_count / body_count if body_count else 0.0
+                )
+                if confidence + _EPSILON < min_confidence:
+                    continue
+                rules.append(
+                    EncodedRule(
+                        body=frozenset(body),
+                        head=frozenset(head),
+                        support_count=support_count,
+                        body_count=body_count,
+                        support=(
+                            support_count / data.totg if data.totg else 0.0
+                        ),
+                        confidence=confidence,
+                    )
+                )
+        rules.sort(key=EncodedRule.key)
+        return rules
+
+    @staticmethod
+    def _body_occurrence_index(
+        data: GeneralInput,
+    ) -> Dict[int, Set[Tuple[int, int]]]:
+        """item id -> set of (group, body cluster) containing it."""
+        index: Dict[int, Set[Tuple[int, int]]] = {}
+        for gid, clusters in data.body_items.items():
+            for cid, items in clusters.items():
+                for bid in items:
+                    index.setdefault(bid, set()).add((gid, cid))
+        return index
+
+    def _body_count(
+        self,
+        body: Tuple[int, ...],
+        occurrences: Dict[int, Set[Tuple[int, int]]],
+        cache: Dict[Tuple[int, ...], int],
+    ) -> int:
+        """Groups where all body items co-occur in one body cluster."""
+        cached = cache.get(body)
+        if cached is not None:
+            return cached
+        sets = [occurrences.get(bid, set()) for bid in body]
+        if not sets or any(not s for s in sets):
+            cache[body] = 0
+            return 0
+        sets.sort(key=len)
+        shared = set(sets[0])
+        for other in sets[1:]:
+            shared &= other
+            if not shared:
+                break
+        count = len({gid for gid, _ in shared})
+        cache[body] = count
+        return count

@@ -1,0 +1,40 @@
+"""Encoded rules: the core operator's output format.
+
+"Conceptually, the core operator produces rules as associations
+between two itemsets [...] where each itemset is a set of item
+identifiers" (Section 4.4).  The identifiers refer to the ``Bset`` /
+``Hset`` encodings; decoding is the postprocessor's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class EncodedRule:
+    """One mined rule over encoded item identifiers."""
+
+    body: FrozenSet[int]
+    head: FrozenSet[int]
+    #: groups supporting the rule
+    support_count: int
+    #: groups containing the body (confidence denominator)
+    body_count: int
+    #: support_count / total number of groups
+    support: float
+    #: support_count / body_count
+    confidence: float
+
+    def key(self):
+        """Canonical identity used for deduplication and comparisons."""
+        return (tuple(sorted(self.body)), tuple(sorted(self.head)))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        body = "{" + ",".join(map(str, sorted(self.body))) + "}"
+        head = "{" + ",".join(map(str, sorted(self.head))) + "}"
+        return (
+            f"{body} => {head} "
+            f"(s={self.support:.4f}, c={self.confidence:.4f})"
+        )

@@ -1,0 +1,73 @@
+"""Process-flow tracing (Figure 3a).
+
+The figure's thick lines — user support -> translator -> preprocessor
+-> core operator -> postprocessor -> user support — are recorded as
+:class:`ProcessEvent` entries so the FIG3 benchmark can regenerate the
+flow and tests can assert the component ordering.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ProcessEvent:
+    """One step of the mining process."""
+
+    component: str  # translator | preprocessor | core | postprocessor
+    action: str
+    detail: str = ""
+    elapsed: float = 0.0
+
+    def __str__(self) -> str:
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"[{self.component}] {self.action}{detail}"
+
+
+class ProcessFlow:
+    """Collects events and per-component timings during one execution."""
+
+    def __init__(self) -> None:
+        self.events: List[ProcessEvent] = []
+        self.timings: Dict[str, float] = {}
+        self._started: Optional[float] = None
+        self._component: Optional[str] = None
+
+    def event(self, component: str, action: str, detail: str = "") -> None:
+        self.events.append(ProcessEvent(component, action, detail))
+
+    def start(self, component: str) -> None:
+        """Begin timing a component phase."""
+        self._component = component
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current phase; accumulates into :attr:`timings`."""
+        if self._started is None or self._component is None:
+            return 0.0
+        elapsed = time.perf_counter() - self._started
+        self.timings[self._component] = (
+            self.timings.get(self._component, 0.0) + elapsed
+        )
+        self._started = None
+        self._component = None
+        return elapsed
+
+    def components(self) -> List[str]:
+        """Distinct components in first-event order (FIG3 assertion)."""
+        seen: List[str] = []
+        for event in self.events:
+            if event.component not in seen:
+                seen.append(event.component)
+        return seen
+
+    def render(self) -> str:
+        lines = [str(event) for event in self.events]
+        if self.timings:
+            lines.append("-- timings --")
+            for component, elapsed in self.timings.items():
+                lines.append(f"{component}: {elapsed * 1000:.2f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Classification of MINE RULE statements into boolean directives.
+
+Section 4.1 defines eight boolean variables that drive the
+preprocessor, core operator and postprocessor:
+
+===  =========================================================
+H    body and head are relative to different attributes
+W    a source condition is present (or several source tables)
+M    a mining condition is present
+G    a group condition (GROUP BY .. HAVING) is present
+C    a CLUSTER BY clause is present
+K    a cluster condition is present            (K implies C)
+F    the cluster condition contains aggregates (F implies K)
+R    the group condition contains aggregates   (R implies G)
+===  =========================================================
+
+A statement is in the *simple association rules* class when neither H,
+C nor M holds (Section 3); otherwise the *general* core algorithm is
+required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.minerule.statements import MineRuleStatement
+from repro.sqlengine import ast_nodes as sql
+from repro.sqlengine.parser import AGGREGATE_NAMES
+
+
+@dataclass(frozen=True)
+class Directives:
+    """The classification vector; immutable, shared by the kernel
+    components as "directives from the translator"."""
+
+    H: bool
+    W: bool
+    M: bool
+    G: bool
+    C: bool
+    K: bool
+    F: bool
+    R: bool
+
+    def __post_init__(self) -> None:
+        if self.K and not self.C:
+            raise ValueError("inconsistent directives: K requires C")
+        if self.F and not self.K:
+            raise ValueError("inconsistent directives: F requires K")
+        if self.R and not self.G:
+            raise ValueError("inconsistent directives: R requires G")
+
+    @property
+    def simple(self) -> bool:
+        """Simple association rules: same body/head attributes, no
+        clusters, no mining condition (Section 3, class 1)."""
+        return not (self.H or self.C or self.M)
+
+    @property
+    def general(self) -> bool:
+        return not self.simple
+
+    def as_tuple(self):
+        return (
+            self.H,
+            self.W,
+            self.M,
+            self.G,
+            self.C,
+            self.K,
+            self.F,
+            self.R,
+        )
+
+    def __str__(self) -> str:
+        flags = "".join(
+            name if value else name.lower()
+            for name, value in zip("HWMGCKFR", self.as_tuple())
+        )
+        kind = "simple" if self.simple else "general"
+        return f"{flags} ({kind})"
+
+
+def _has_aggregates(expr: Optional[sql.Expression]) -> bool:
+    if expr is None:
+        return False
+    for node in sql.walk_expression(expr):
+        if isinstance(node, sql.FunctionCall) and (
+            node.name in AGGREGATE_NAMES or node.star
+        ):
+            return True
+    return False
+
+
+def classify(statement: MineRuleStatement) -> Directives:
+    """Compute the directive vector for *statement*."""
+    return Directives(
+        H=not statement.same_schema,
+        W=statement.source_condition is not None or len(statement.from_list) > 1,
+        M=statement.mining_condition is not None,
+        G=statement.group_condition is not None,
+        C=statement.has_clusters,
+        K=statement.cluster_condition is not None,
+        F=_has_aggregates(statement.cluster_condition),
+        R=_has_aggregates(statement.group_condition),
+    )

@@ -1,0 +1,21 @@
+"""Errors raised by the MINE RULE front end."""
+
+from __future__ import annotations
+
+
+class MineRuleError(Exception):
+    """Base class for MINE RULE front-end errors."""
+
+
+class MineRuleParseError(MineRuleError):
+    """The statement text does not conform to the Section 4.1 grammar."""
+
+
+class MineRuleValidationError(MineRuleError):
+    """The statement violates one of the semantic checks 1-4 (Section
+    4.1) against the data dictionary."""
+
+    def __init__(self, message: str, check: int = 0):
+        super().__init__(message)
+        #: which of the paper's four checks failed (1-4), 0 for other
+        self.check = check

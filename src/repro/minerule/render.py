@@ -1,0 +1,68 @@
+"""Render MINE RULE statement ASTs back to statement text.
+
+The inverse of :mod:`repro.minerule.parser`.  Tooling uses it to log
+normalized statements, and the test suite uses the parse -> render ->
+parse round trip as a grammar-coverage property.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minerule.statements import ItemDescriptor, MineRuleStatement
+from repro.sqlengine.render import render_expr
+
+
+def render_mine_rule(statement: MineRuleStatement) -> str:
+    """Render *statement* as parseable MINE RULE text."""
+    lines: List[str] = [f"MINE RULE {statement.output_table} AS"]
+
+    select_items = [
+        _render_descriptor(statement.body, "BODY"),
+        _render_descriptor(statement.head, "HEAD"),
+    ]
+    if statement.select_support:
+        select_items.append("SUPPORT")
+    if statement.select_confidence:
+        select_items.append("CONFIDENCE")
+    lines.append("SELECT DISTINCT " + ", ".join(select_items))
+
+    if statement.mining_condition is not None:
+        lines.append("WHERE " + render_expr(statement.mining_condition))
+
+    tables = ", ".join(
+        f"{t.name} AS {t.alias}" if t.alias else t.name
+        for t in statement.from_list
+    )
+    from_line = f"FROM {tables}"
+    if statement.source_condition is not None:
+        from_line += " WHERE " + render_expr(statement.source_condition)
+    lines.append(from_line)
+
+    group_line = "GROUP BY " + ", ".join(statement.group_attributes)
+    if statement.group_condition is not None:
+        group_line += " HAVING " + render_expr(statement.group_condition)
+    lines.append(group_line)
+
+    if statement.cluster_attributes:
+        cluster_line = "CLUSTER BY " + ", ".join(
+            statement.cluster_attributes
+        )
+        if statement.cluster_condition is not None:
+            cluster_line += " HAVING " + render_expr(
+                statement.cluster_condition
+            )
+        lines.append(cluster_line)
+
+    lines.append(
+        f"EXTRACTING RULES WITH SUPPORT: {statement.min_support}, "
+        f"CONFIDENCE: {statement.min_confidence}"
+    )
+    return "\n".join(lines)
+
+
+def _render_descriptor(descriptor: ItemDescriptor, side: str) -> str:
+    return (
+        f"{descriptor.card_text} "
+        f"{', '.join(descriptor.attributes)} AS {side}"
+    )

@@ -1,0 +1,209 @@
+"""A PEP 249 (DB-API 2.0) style adapter over the engine.
+
+Downstream code written against the standard Python database interface
+can talk to the mining system's SQL server without learning its native
+API::
+
+    from repro.sqlengine import dbapi
+
+    conn = dbapi.connect()
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INTEGER)")
+    cur.execute("INSERT INTO t VALUES (:v)", {"v": 1})
+    cur.execute("SELECT a FROM t")
+    print(cur.fetchall())
+
+Deliberate deviations, documented:
+
+* ``paramstyle`` is ``"named"`` (``:name``), matching the engine's host
+  variables (and the paper's Appendix A);
+* the engine is non-transactional, so ``commit()`` is a no-op and
+  ``rollback()`` raises :class:`NotSupportedError`;
+* ``connect()`` may wrap an existing :class:`Database` so a DB-API
+  consumer and a :class:`~repro.system.MiningSystem` can share one
+  catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sqlengine.engine import Database
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.result import Result
+
+apilevel = "2.0"
+threadsafety = 1  # threads may share the module, not connections
+paramstyle = "named"
+
+
+class Error(Exception):
+    """DB-API base error (wraps the engine's SqlError)."""
+
+
+class InterfaceError(Error):
+    """Misuse of the DB-API itself (closed cursor, etc.)."""
+
+
+class DatabaseError(Error):
+    """Errors raised by the underlying engine."""
+
+
+class NotSupportedError(DatabaseError):
+    """Requested feature the engine deliberately lacks."""
+
+
+def connect(database: Optional[Database] = None) -> "Connection":
+    """Open a connection, optionally wrapping an existing engine."""
+    return Connection(database if database is not None else Database())
+
+
+class Connection:
+    """A DB-API connection: a thin session over one Database."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._closed = False
+
+    @property
+    def database(self) -> Database:
+        """The wrapped engine (for handover to a MiningSystem)."""
+        return self._db
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def commit(self) -> None:
+        """No-op: statements are applied immediately (documented)."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        self._check_open()
+        raise NotSupportedError(
+            "the engine is non-transactional; rollback is not available"
+        )
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+
+class Cursor:
+    """A DB-API cursor: executes statements, buffers the result."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self._connection = connection
+        self._closed = False
+        self._result: Optional[Result] = None
+        self._position = 0
+
+    # -- execution -----------------------------------------------------
+
+    def execute(
+        self, operation: str, parameters: Optional[Dict[str, Any]] = None
+    ) -> "Cursor":
+        self._check_open()
+        try:
+            self._result = self._connection.database.execute(
+                operation, parameters
+            )
+        except SqlError as exc:
+            raise DatabaseError(str(exc)) from exc
+        self._position = 0
+        return self
+
+    def executemany(
+        self, operation: str, seq_of_parameters: Sequence[Dict[str, Any]]
+    ) -> "Cursor":
+        for parameters in seq_of_parameters:
+            self.execute(operation, parameters)
+        return self
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def description(
+        self,
+    ) -> Optional[List[Tuple[str, None, None, None, None, None, None]]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._result.columns
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        if self._result is None:
+            return -1
+        return self._result.rowcount
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        size = self.arraysize if size is None else size
+        rows = self._rows()
+        chunk = rows[self._position : self._position + size]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        rows = self._rows()
+        chunk = rows[self._position :]
+        self._position = len(rows)
+        return chunk
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # setinputsizes/setoutputsize are required no-ops per PEP 249
+    def setinputsizes(self, sizes: Sequence[Any]) -> None:
+        self._check_open()
+
+    def setoutputsize(self, size: int, column: Optional[int] = None) -> None:
+        self._check_open()
+
+    def _rows(self) -> List[Tuple[Any, ...]]:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no statement has been executed")
+        return self._result.rows
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self._connection._check_open()

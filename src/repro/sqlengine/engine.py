@@ -1,0 +1,557 @@
+"""The :class:`Database` facade: parse, plan and execute statements.
+
+This is the component the mining architecture calls "the SQL server".
+It owns the catalog, a host-variable store (so that ``SELECT .. INTO
+:totg`` in one query of a translation program is visible to later
+queries, exactly as the paper's Q1/Q3 pair requires), and a statement
+counter used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Catalog, Index, View
+from repro.sqlengine.errors import CatalogError, ExecutionError
+from repro.sqlengine.evaluator import Env, Evaluator, Frame, compare
+from repro.sqlengine.operators import GroupAggregate, Operator
+from repro.sqlengine.parser import parse_sql, split_statements
+from repro.sqlengine.planner import SelectPlanner, conjoin
+from repro.sqlengine.result import Result
+from repro.sqlengine.table import Table
+from repro.sqlengine.types import SqlType, coerce as coerce_value, infer_type
+
+Row = Tuple[Any, ...]
+
+
+class Database:
+    """An in-memory SQL database instance."""
+
+    def __init__(self, options: Optional["EngineOptions"] = None) -> None:
+        from repro.sqlengine.options import EngineOptions
+
+        self.catalog = Catalog()
+        self.options = options if options is not None else EngineOptions()
+        #: host variables assigned by ``SELECT .. INTO :name``
+        self.variables: Dict[str, Any] = {}
+        #: number of statements executed (observability for benches)
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
+        """Parse and execute one statement."""
+        statement = parse_sql(sql)
+        return self.execute_ast(statement, params)
+
+    def query(self, sql: str, params: Optional[Dict[str, Any]] = None) -> List[Row]:
+        """Execute and return the raw row list."""
+        return self.execute(sql, params).rows
+
+    def execute_script(
+        self, script: str, params: Optional[Dict[str, Any]] = None
+    ) -> List[Result]:
+        """Execute a semicolon-separated script, returning one result
+        per statement."""
+        return [self.execute(chunk, params) for chunk in split_statements(script)]
+
+    def execute_ast(
+        self, statement: ast.Statement, params: Optional[Dict[str, Any]] = None
+    ) -> Result:
+        """Execute an already-parsed statement."""
+        self.statements_executed += 1
+        merged = dict(self.variables)
+        if params:
+            merged.update(params)
+        self._params = merged
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateTableAsSelect):
+            return self._execute_ctas(statement)
+        if isinstance(statement, ast.CreateView):
+            self.catalog.create_view(
+                View(statement.name, statement.select), statement.or_replace
+            )
+            return Result()
+        if isinstance(statement, ast.CreateSequence):
+            self.catalog.create_sequence(statement.name, statement.start)
+            return Result()
+        if isinstance(statement, ast.CreateIndex):
+            self.catalog.create_index(
+                Index(statement.name, statement.table, statement.columns)
+            )
+            return Result()
+        if isinstance(statement, ast.DropObject):
+            return self._execute_drop(statement)
+        if isinstance(statement, ast.InsertValues):
+            return self._execute_insert_values(statement)
+        if isinstance(statement, ast.InsertSelect):
+            return self._execute_insert_select(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        raise ExecutionError(f"unsupported statement: {statement!r}")
+
+    def explain(self, sql: str, params: Optional[Dict[str, Any]] = None) -> str:
+        """Render the physical plan of a SELECT statement as text."""
+        from repro.sqlengine.explain import explain
+
+        return explain(self, sql, params)
+
+    # -- convenience -----------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Direct access to a base table (used by the core operator to
+        bulk-read encoded tables without SQL overhead)."""
+        return self.catalog.get_table(name)
+
+    def create_table_from_rows(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        types: Optional[Sequence[Optional[SqlType]]] = None,
+        replace: bool = False,
+    ) -> Table:
+        """Bulk-create a table from Python data (loader path)."""
+        if replace:
+            self.catalog.drop_table(name, if_exists=True)
+        table = Table(name, columns, types)
+        table.insert_many(rows)
+        self.catalog.create_table(table)
+        return table
+
+    # ------------------------------------------------------------------
+    # SELECT execution
+    # ------------------------------------------------------------------
+
+    def _execute_select(self, select: ast.Select) -> Result:
+        columns, rows = self._run_select_raw(select)
+        if select.into_vars:
+            if len(rows) != 1:
+                raise ExecutionError(
+                    f"SELECT INTO expects exactly one row, got {len(rows)}"
+                )
+            if len(select.into_vars) != len(rows[0]):
+                raise ExecutionError(
+                    "SELECT INTO arity mismatch: "
+                    f"{len(select.into_vars)} variables, {len(rows[0])} columns"
+                )
+            for var, value in zip(select.into_vars, rows[0]):
+                self.variables[var] = value
+        return Result(columns, rows)
+
+    def _run_select_raw(
+        self,
+        select: ast.Select,
+        outer_env: Optional[Env] = None,
+        limit_one: bool = False,
+    ) -> Tuple[List[str], List[Row]]:
+        columns, rows = self._run_select_core(select, outer_env, limit_one)
+        for op, all_flag, rhs in select.set_ops:
+            _, rhs_rows = self._run_select_core(rhs, outer_env, False)
+            rows = _apply_set_op(op, all_flag, rows, rhs_rows)
+        return columns, rows
+
+    def _run_subquery(
+        self,
+        select: ast.Select,
+        params: Dict[str, Any],
+        outer_env: Optional[Env],
+        limit_one: bool = False,
+    ) -> List[Row]:
+        _, rows = self._run_select_raw(select, outer_env, limit_one)
+        return rows
+
+    def _run_select_core(
+        self,
+        select: ast.Select,
+        outer_env: Optional[Env],
+        limit_one: bool,
+    ) -> Tuple[List[str], List[Row]]:
+        evaluator = Evaluator(self, self._params)
+        planner = SelectPlanner(self, evaluator)
+        root, leftovers = planner.plan_from(select)
+
+        if root is None:
+            # SELECT without FROM: one conceptual row.
+            env = outer_env
+            if leftovers and not all(
+                evaluator.eval_predicate(c, env) for c in leftovers
+            ):
+                return self._output_names(select, None, evaluator), []
+            columns, row, _ = self._project_row(select, env, evaluator, None)
+            return columns, [tuple(row)]
+
+        predicate = conjoin(leftovers)
+
+        has_aggregates = bool(select.group_by) or any(
+            evaluator.contains_aggregate(item.expr)
+            for item in select.items
+            if not isinstance(item.expr, ast.Star)
+        )
+        if select.having is not None and not select.group_by:
+            has_aggregates = True
+
+        out_rows: List[Row] = []
+        order_keys: List[Tuple[Any, ...]] = []
+        columns: Optional[List[str]] = None
+        seen: Optional[Dict[Row, None]] = {} if select.distinct else None
+
+        if has_aggregates:
+            source: Operator = GroupAggregate(
+                root,
+                list(select.group_by),
+                evaluator,
+                scalar=not select.group_by,
+            )
+        else:
+            source = root
+
+        for env in self._filtered_envs(source, root, predicate, outer_env, evaluator,
+                                       prefilter=not has_aggregates):
+            if has_aggregates and select.having is not None:
+                if not evaluator.eval_predicate(select.having, env):
+                    continue
+            cols, row, okeys = self._project_row(
+                select, env, evaluator, outer_env
+            )
+            if columns is None:
+                columns = cols
+            row_t = tuple(row)
+            if seen is not None:
+                if row_t in seen:
+                    continue
+                seen[row_t] = None
+            out_rows.append(row_t)
+            order_keys.append(okeys)
+            if limit_one and not select.order_by and select.limit is None:
+                break
+
+        if columns is None:
+            columns = self._output_names(select, root, evaluator)
+
+        if select.order_by:
+            out_rows = _sort_rows(out_rows, order_keys, select.order_by)
+
+        out_rows = self._apply_limit(select, out_rows, evaluator)
+        return columns, out_rows
+
+    def _filtered_envs(
+        self,
+        source: Operator,
+        root: Operator,
+        predicate: Optional[ast.Expression],
+        outer_env: Optional[Env],
+        evaluator: Evaluator,
+        prefilter: bool,
+    ):
+        """Iterate environments, applying leftover WHERE conjuncts.
+
+        For aggregate queries the leftover predicate must run *before*
+        grouping, so it is injected between root and the aggregate by
+        filtering inside the GroupAggregate's child iteration; we handle
+        that by wrapping the child at plan time instead — see below.
+        """
+        if predicate is None:
+            yield from source.envs(outer_env)
+            return
+        if prefilter:
+            for env in source.envs(outer_env):
+                if evaluator.eval_predicate(predicate, env):
+                    yield env
+            return
+        # Aggregate query with leftover WHERE: filter pre-aggregation.
+        from repro.sqlengine.operators import Filter, GroupAggregate as GA
+
+        assert isinstance(source, GA)
+        filtered = Filter(source.child, predicate, evaluator)
+        regrouped = GA(filtered, source.keys, evaluator, scalar=source.scalar)
+        yield from regrouped.envs(outer_env)
+
+    def _project_row(
+        self,
+        select: ast.Select,
+        env: Optional[Env],
+        evaluator: Evaluator,
+        outer_env: Optional[Env],
+    ) -> Tuple[List[str], List[Any], Tuple[Any, ...]]:
+        columns: List[str] = []
+        values: List[Any] = []
+        for idx, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                if env is None:
+                    raise ExecutionError("'*' requires a FROM clause")
+                for src_idx, col_idx, name in env.frame.star_columns(
+                    item.expr.qualifier
+                ):
+                    columns.append(name)
+                    values.append(env.rows[src_idx][col_idx])
+                continue
+            columns.append(item.alias or _default_name(item.expr, idx))
+            values.append(evaluator.eval(item.expr, env))
+
+        order_keys: Tuple[Any, ...] = ()
+        if select.order_by:
+            out_frame = Frame.single(None, columns)
+            order_env = Env(out_frame, (tuple(values),), parent=env)
+            keys = []
+            for order_item in select.order_by:
+                expr = order_item.expr
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    position = expr.value - 1
+                    if not 0 <= position < len(values):
+                        raise ExecutionError(
+                            f"ORDER BY position {expr.value} out of range"
+                        )
+                    keys.append(values[position])
+                else:
+                    keys.append(evaluator.eval(expr, order_env))
+            order_keys = tuple(keys)
+        return columns, values, order_keys
+
+    def _output_names(
+        self,
+        select: ast.Select,
+        root: Optional[Operator],
+        evaluator: Evaluator,
+    ) -> List[str]:
+        """Output column names for an empty result."""
+        columns: List[str] = []
+        for idx, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                if root is not None:
+                    for _, _, name in root.frame.star_columns(item.expr.qualifier):
+                        columns.append(name)
+                continue
+            columns.append(item.alias or _default_name(item.expr, idx))
+        return columns
+
+    def _apply_limit(
+        self, select: ast.Select, rows: List[Row], evaluator: Evaluator
+    ) -> List[Row]:
+        offset = 0
+        if select.offset is not None:
+            offset = int(evaluator.eval(select.offset, None))
+        if offset:
+            rows = rows[offset:]
+        if select.limit is not None:
+            limit = int(evaluator.eval(select.limit, None))
+            rows = rows[:limit]
+        return rows
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> Result:
+        columns = [c.name for c in statement.columns]
+        types = [c.type for c in statement.columns]
+        self.catalog.create_table(Table(statement.name, columns, types))
+        return Result()
+
+    def _execute_ctas(self, statement: ast.CreateTableAsSelect) -> Result:
+        columns, rows = self._run_select_raw(statement.select)
+        table = Table(statement.name, columns)
+        table.insert_many(rows)
+        self.catalog.create_table(table)
+        return Result(rowcount=len(rows))
+
+    def _execute_drop(self, statement: ast.DropObject) -> Result:
+        catalog = self.catalog
+        dispatch = {
+            "TABLE": catalog.drop_table,
+            "VIEW": catalog.drop_view,
+            "SEQUENCE": catalog.drop_sequence,
+            "INDEX": catalog.drop_index,
+        }
+        dispatch[statement.kind](statement.name, statement.if_exists)
+        return Result()
+
+    def _execute_insert_values(self, statement: ast.InsertValues) -> Result:
+        table = self.catalog.get_table(statement.table)
+        evaluator = Evaluator(self, self._params)
+        count = 0
+        for row_exprs in statement.rows:
+            values = [evaluator.eval(e, None) for e in row_exprs]
+            table.insert(self._align_insert(table, statement.columns, values))
+            count += 1
+        return Result(rowcount=count)
+
+    def _execute_insert_select(self, statement: ast.InsertSelect) -> Result:
+        columns, rows = self._run_select_raw(statement.select)
+        if not self.catalog.has_table(statement.table):
+            # Convenience extension: auto-create the target from the
+            # SELECT output schema (the paper's translation programs
+            # INSERT into fresh working tables).
+            target_columns = list(statement.columns) if statement.columns else columns
+            table = Table(statement.table, target_columns)
+            self.catalog.create_table(table)
+        else:
+            table = self.catalog.get_table(statement.table)
+        count = 0
+        for row in rows:
+            table.insert(self._align_insert(table, statement.columns, list(row)))
+            count += 1
+        return Result(rowcount=count)
+
+    @staticmethod
+    def _align_insert(
+        table: Table, columns: Sequence[str], values: List[Any]
+    ) -> List[Any]:
+        if not columns:
+            return values
+        if len(columns) != len(values):
+            raise ExecutionError(
+                f"INSERT column list has {len(columns)} names "
+                f"but {len(values)} values"
+            )
+        full = [None] * table.arity
+        for name, value in zip(columns, values):
+            full[table.column_index(name)] = value
+        return full
+
+    def _execute_delete(self, statement: ast.Delete) -> Result:
+        table = self.catalog.get_table(statement.table)
+        if statement.where is None:
+            count = len(table.rows)
+            table.truncate()
+            return Result(rowcount=count)
+        evaluator = Evaluator(self, self._params)
+        frame = Frame.single(statement.table, table.columns)
+        kept: List[Row] = []
+        removed = 0
+        for row in table.rows:
+            env = Env(frame, (row,))
+            if evaluator.eval_predicate(statement.where, env):
+                removed += 1
+            else:
+                kept.append(row)
+        table.replace_rows(kept)
+        return Result(rowcount=removed)
+
+    def _execute_update(self, statement: ast.Update) -> Result:
+        table = self.catalog.get_table(statement.table)
+        evaluator = Evaluator(self, self._params)
+        frame = Frame.single(statement.table, table.columns)
+        indexes = [
+            (table.column_index(name), expr) for name, expr in statement.assignments
+        ]
+        updated = 0
+        new_rows: List[Row] = []
+        for row in table.rows:
+            env = Env(frame, (row,))
+            if statement.where is None or evaluator.eval_predicate(
+                statement.where, env
+            ):
+                mutable = list(row)
+                for col_idx, expr in indexes:
+                    value = evaluator.eval(expr, env)
+                    declared = table.types[col_idx]
+                    if declared is not None:
+                        value = coerce_value(value, declared)
+                    mutable[col_idx] = value
+                new_rows.append(tuple(mutable))
+                updated += 1
+            else:
+                new_rows.append(row)
+        table.replace_rows(new_rows)
+        return Result(rowcount=updated)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _default_name(expr: ast.Expression, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.lower()
+    if isinstance(expr, ast.SequenceNextval):
+        return "nextval"
+    return f"col{index + 1}"
+
+
+def _apply_set_op(
+    op: str, all_flag: bool, left: List[Row], right: List[Row]
+) -> List[Row]:
+    if op == "UNION":
+        combined = left + right
+        if all_flag:
+            return combined
+        return _dedupe(combined)
+    if op == "INTERSECT":
+        right_counts = _count_rows(right)
+        out: List[Row] = []
+        for row in left:
+            if right_counts.get(row, 0) > 0:
+                out.append(row)
+                if all_flag:
+                    right_counts[row] -= 1
+        return out if all_flag else _dedupe(out)
+    if op == "EXCEPT":
+        right_counts = _count_rows(right)
+        out = []
+        for row in left:
+            if right_counts.get(row, 0) > 0:
+                if all_flag:
+                    right_counts[row] -= 1
+                continue
+            out.append(row)
+        return out if all_flag else _dedupe(out)
+    raise ExecutionError(f"unknown set operation {op!r}")
+
+
+def _dedupe(rows: List[Row]) -> List[Row]:
+    seen: Dict[Row, None] = {}
+    for row in rows:
+        if row not in seen:
+            seen[row] = None
+    return list(seen.keys())
+
+
+def _count_rows(rows: List[Row]) -> Dict[Row, int]:
+    counts: Dict[Row, int] = {}
+    for row in rows:
+        counts[row] = counts.get(row, 0) + 1
+    return counts
+
+
+def _sort_rows(
+    rows: List[Row],
+    keys: List[Tuple[Any, ...]],
+    order_by: Sequence[ast.OrderItem],
+) -> List[Row]:
+    def cmp(a: Tuple[int, Tuple[Any, ...]], b: Tuple[int, Tuple[Any, ...]]) -> int:
+        for position, item in enumerate(order_by):
+            left = keys[a[0]][position]
+            right = keys[b[0]][position]
+            if left is None and right is None:
+                continue
+            # NULL compares as the largest value: last in ASC, first in
+            # DESC (Oracle's default NULLS LAST / NULLS FIRST).
+            if left is None:
+                return 1 if item.ascending else -1
+            if right is None:
+                return -1 if item.ascending else 1
+            if compare("<", left, right) is True:
+                result = -1
+            elif compare(">", left, right) is True:
+                result = 1
+            else:
+                continue
+            return result if item.ascending else -result
+        return 0
+
+    indexed = list(enumerate(rows))
+    indexed.sort(key=functools.cmp_to_key(cmp))
+    return [row for _, row in indexed]

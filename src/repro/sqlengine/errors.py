@@ -1,0 +1,45 @@
+"""Exception hierarchy for the SQL engine.
+
+Every error raised by the engine derives from :class:`SqlError`, so
+callers (notably the mining kernel) can catch one type at the system
+boundary while still discriminating parse, catalog, type and execution
+failures when useful.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL engine errors."""
+
+
+class SqlParseError(SqlError):
+    """A statement could not be tokenized or parsed.
+
+    Carries the offending position so interactive tools can point at it.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.line >= 0:
+            return f"{base} (line {self.line})"
+        return base
+
+
+class CatalogError(SqlError):
+    """A referenced table, view, sequence or column does not exist,
+    or an object is being created with a name already in use."""
+
+
+class SqlTypeError(SqlError):
+    """Values of incompatible types were combined in an expression."""
+
+
+class ExecutionError(SqlError):
+    """A statement failed during evaluation (e.g. arity mismatch on
+    INSERT, scalar subquery returning several rows, division by zero)."""

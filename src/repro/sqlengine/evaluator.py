@@ -1,0 +1,573 @@
+"""Row environments and the interpreted expression evaluator.
+
+Evaluation follows SQL three-valued logic: comparisons against NULL
+yield UNKNOWN (represented as ``None``), AND/OR/NOT combine truth
+values per the standard tables, and WHERE/HAVING keep only rows whose
+predicate is exactly TRUE.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import CatalogError, ExecutionError, SqlTypeError
+from repro.sqlengine.parser import AGGREGATE_NAMES
+from repro.sqlengine.types import coerce, is_comparable
+
+# ---------------------------------------------------------------------------
+# Frames and environments
+# ---------------------------------------------------------------------------
+
+
+class Frame:
+    """Compile-time schema of a row environment.
+
+    A frame is an ordered list of *sources*; each source has a binding
+    name (table alias, lowered; possibly ``None``) and a column list.
+    At run time an :class:`Env` pairs a frame with one row tuple per
+    source.
+    """
+
+    __slots__ = ("sources", "_by_qualified", "_by_name")
+
+    def __init__(self, sources: Sequence[Tuple[Optional[str], Sequence[str]]]):
+        self.sources: List[Tuple[Optional[str], Tuple[str, ...]]] = [
+            (name.lower() if name else None, tuple(columns))
+            for name, columns in sources
+        ]
+        self._by_qualified: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._by_name: Dict[str, List[Tuple[int, int]]] = {}
+        for src_idx, (name, columns) in enumerate(self.sources):
+            for col_idx, column in enumerate(columns):
+                col_key = column.lower()
+                if name is not None:
+                    self._by_qualified.setdefault((name, col_key), (src_idx, col_idx))
+                self._by_name.setdefault(col_key, []).append((src_idx, col_idx))
+
+    @classmethod
+    def single(cls, name: Optional[str], columns: Sequence[str]) -> "Frame":
+        return cls([(name, columns)])
+
+    def combine(self, other: "Frame") -> "Frame":
+        return Frame(self.sources + other.sources)
+
+    def lookup(self, qualifier: Optional[str], name: str) -> Optional[Tuple[int, int]]:
+        """Resolve a column reference to (source index, column index).
+
+        Returns ``None`` when the name is not visible in this frame
+        (the caller then consults the parent environment).  Ambiguous
+        unqualified names raise.
+        """
+        if qualifier is not None:
+            return self._by_qualified.get((qualifier.lower(), name.lower()))
+        hits = self._by_name.get(name.lower())
+        if not hits:
+            return None
+        if len(hits) > 1:
+            raise CatalogError(f"ambiguous column reference: {name!r}")
+        return hits[0]
+
+    def star_columns(self, qualifier: Optional[str]) -> List[Tuple[int, int, str]]:
+        """Expand ``*`` / ``alias.*`` to (source, column, display name)."""
+        out: List[Tuple[int, int, str]] = []
+        for src_idx, (name, columns) in enumerate(self.sources):
+            if qualifier is not None and name != qualifier.lower():
+                continue
+            for col_idx, column in enumerate(columns):
+                out.append((src_idx, col_idx, column))
+        if qualifier is not None and not out:
+            raise CatalogError(f"unknown table alias in {qualifier}.*")
+        return out
+
+    @property
+    def flat_columns(self) -> List[str]:
+        return [c for _, columns in self.sources for c in columns]
+
+
+class Env:
+    """Run-time row environment: a frame plus one row per source, with
+    an optional parent (for correlated subqueries) and optional group
+    membership (for aggregate evaluation)."""
+
+    __slots__ = ("frame", "rows", "parent", "group")
+
+    def __init__(
+        self,
+        frame: Frame,
+        rows: Sequence[Tuple[Any, ...]],
+        parent: Optional["Env"] = None,
+        group: Optional[List["Env"]] = None,
+    ):
+        self.frame = frame
+        self.rows = rows
+        self.parent = parent
+        self.group = group
+
+    def resolve(self, qualifier: Optional[str], name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            hit = env.frame.lookup(qualifier, name)
+            if hit is not None:
+                src_idx, col_idx = hit
+                return env.rows[src_idx][col_idx]
+            env = env.parent
+        target = f"{qualifier}.{name}" if qualifier else name
+        raise CatalogError(f"unknown column reference: {target!r}")
+
+    def child(self, frame: Frame, rows: Sequence[Tuple[Any, ...]]) -> "Env":
+        return Env(frame, rows, parent=self)
+
+    def with_group(self, group: List["Env"]) -> "Env":
+        return Env(self.frame, self.rows, parent=self.parent, group=group)
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic helpers
+# ---------------------------------------------------------------------------
+
+
+def tvl_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def tvl_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def tvl_not(value: Optional[bool]) -> Optional[bool]:
+    if value is None:
+        return None
+    return not value
+
+
+def compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    """SQL comparison with NULL propagation and type checking."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) or isinstance(right, bool):
+        # booleans compare as integers (SQL engines vary; we pick int)
+        left = int(left) if isinstance(left, bool) else left
+        right = int(right) if isinstance(right, bool) else right
+    if not is_comparable(left, right):
+        raise SqlTypeError(f"cannot compare {left!r} with {right!r}")
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_substr(args: List[Any]) -> Any:
+    if any(a is None for a in args):
+        return None
+    string, start = args[0], int(args[1])
+    length = int(args[2]) if len(args) > 2 else None
+    begin = max(start - 1, 0)
+    if length is None:
+        return string[begin:]
+    return string[begin : begin + length]
+
+
+def _null_through(fn: Callable[..., Any]) -> Callable[[List[Any]], Any]:
+    def wrapped(args: List[Any]) -> Any:
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapped
+
+
+def _date_part(getter: Callable[[datetime.date], int]) -> Callable:
+    def fn(args: List[Any]) -> Any:
+        if args[0] is None:
+            return None
+        value = args[0]
+        if not isinstance(value, datetime.date):
+            raise SqlTypeError(f"expected a DATE, got {value!r}")
+        return getter(value)
+
+    return fn
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[[List[Any]], Any]] = {
+    "YEAR": _date_part(lambda d: d.year),
+    "MONTH": _date_part(lambda d: d.month),
+    "DAY": _date_part(lambda d: d.day),
+    "WEEKDAY": _date_part(lambda d: d.weekday()),
+    "UPPER": _null_through(lambda s: s.upper()),
+    "LOWER": _null_through(lambda s: s.lower()),
+    "LENGTH": _null_through(len),
+    "TRIM": _null_through(lambda s: s.strip()),
+    "ABS": _null_through(abs),
+    "ROUND": _null_through(lambda x, n=0: round(x, int(n))),
+    "FLOOR": _null_through(lambda x: int(math.floor(x))),
+    "CEIL": _null_through(lambda x: int(math.ceil(x))),
+    "CEILING": _null_through(lambda x: int(math.ceil(x))),
+    "MOD": _null_through(lambda a, b: a % b),
+    "POWER": _null_through(lambda a, b: a ** b),
+    "SQRT": _null_through(math.sqrt),
+    "SUBSTR": _fn_substr,
+    "SUBSTRING": _fn_substr,
+    "SIGN": _null_through(lambda x: (x > 0) - (x < 0)),
+}
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+
+class Evaluator:
+    """Interprets AST expressions against row environments.
+
+    The evaluator needs the database for subqueries and sequences, and
+    the host-variable bindings of the current statement.
+    """
+
+    def __init__(self, database: "Any", params: Dict[str, Any]):
+        self._db = database
+        self._params = params
+
+    # -- public API --------------------------------------------------------
+
+    def eval(self, expr: ast.Expression, env: Optional[Env]) -> Any:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise ExecutionError(f"cannot evaluate expression node {expr!r}")
+        return method(self, expr, env)
+
+    def eval_predicate(self, expr: ast.Expression, env: Optional[Env]) -> bool:
+        """Evaluate as a WHERE/HAVING predicate: only TRUE passes."""
+        return self.eval(expr, env) is True
+
+    def contains_aggregate(self, expr: ast.Expression) -> bool:
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.FunctionCall) and (
+                node.name in AGGREGATE_NAMES or node.star
+            ):
+                return True
+        return False
+
+    # -- node handlers -------------------------------------------------------
+
+    def _literal(self, expr: ast.Literal, env: Optional[Env]) -> Any:
+        return expr.value
+
+    def _hostvar(self, expr: ast.HostVar, env: Optional[Env]) -> Any:
+        try:
+            return self._params[expr.name]
+        except KeyError:
+            raise ExecutionError(f"unbound host variable :{expr.name}") from None
+
+    def _column(self, expr: ast.ColumnRef, env: Optional[Env]) -> Any:
+        if env is None:
+            raise ExecutionError(f"column reference {expr} outside row context")
+        return env.resolve(expr.qualifier, expr.name)
+
+    def _nextval(self, expr: ast.SequenceNextval, env: Optional[Env]) -> Any:
+        return self._db.catalog.get_sequence(expr.sequence).nextval()
+
+    def _binary(self, expr: ast.BinaryOp, env: Optional[Env]) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self._as_truth(self.eval(expr.left, env))
+            if left is False:
+                return False
+            return tvl_and(left, self._as_truth(self.eval(expr.right, env)))
+        if op == "OR":
+            left = self._as_truth(self.eval(expr.left, env))
+            if left is True:
+                return True
+            return tvl_or(left, self._as_truth(self.eval(expr.right, env)))
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return compare(op, left, right)
+        if left is None or right is None:
+            return None
+        if op == "||":
+            return _to_str(left) + _to_str(right)
+        return _arith(op, left, right)
+
+    def _unary(self, expr: ast.UnaryOp, env: Optional[Env]) -> Any:
+        value = self.eval(expr.operand, env)
+        if expr.op == "NOT":
+            return tvl_not(self._as_truth(value))
+        if value is None:
+            return None
+        if expr.op == "-":
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SqlTypeError(f"cannot negate {value!r}")
+            return -value
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _function(self, expr: ast.FunctionCall, env: Optional[Env]) -> Any:
+        if expr.name in AGGREGATE_NAMES or expr.star:
+            return self._aggregate(expr, env)
+        if expr.name in ("COALESCE",):
+            for arg in expr.args:
+                value = self.eval(arg, env)
+                if value is not None:
+                    return value
+            return None
+        if expr.name == "NULLIF":
+            if len(expr.args) != 2:
+                raise ExecutionError("NULLIF takes two arguments")
+            first = self.eval(expr.args[0], env)
+            second = self.eval(expr.args[1], env)
+            return None if compare("=", first, second) is True else first
+        fn = SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        return fn([self.eval(arg, env) for arg in expr.args])
+
+    def _aggregate(self, expr: ast.FunctionCall, env: Optional[Env]) -> Any:
+        # The group may live on an ancestor env (e.g. ORDER BY SUM(x)
+        # is evaluated in a projection env whose parent is the group).
+        scope = env
+        while scope is not None and scope.group is None:
+            scope = scope.parent
+        if scope is None:
+            raise ExecutionError(
+                f"aggregate {expr.name} used outside GROUP BY context"
+            )
+        group = scope.group
+        if expr.star:
+            if expr.name != "COUNT":
+                raise ExecutionError(f"{expr.name}(*) is not valid")
+            return len(group)
+        if len(expr.args) != 1:
+            raise ExecutionError(f"{expr.name} takes exactly one argument")
+        arg = expr.args[0]
+        values = [self.eval(arg, member) for member in group]
+        values = [v for v in values if v is not None]
+        if expr.distinct:
+            seen = []
+            unique = []
+            for v in values:
+                if v not in seen:
+                    seen.append(v)
+                    unique.append(v)
+            values = unique
+        if expr.name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if expr.name == "SUM":
+            return sum(values)
+        if expr.name == "AVG":
+            return sum(values) / len(values)
+        if expr.name == "MIN":
+            return min(values)
+        if expr.name == "MAX":
+            return max(values)
+        raise ExecutionError(f"unknown aggregate {expr.name!r}")
+
+    def _between(self, expr: ast.Between, env: Optional[Env]) -> Any:
+        value = self.eval(expr.expr, env)
+        low = self.eval(expr.low, env)
+        high = self.eval(expr.high, env)
+        result = tvl_and(compare(">=", value, low), compare("<=", value, high))
+        return tvl_not(result) if expr.negated else result
+
+    def _in_list(self, expr: ast.InList, env: Optional[Env]) -> Any:
+        value = self.eval(expr.expr, env)
+        found = False
+        saw_null = False
+        for item in expr.items:
+            result = compare("=", value, self.eval(item, env))
+            if result is True:
+                found = True
+                break
+            if result is None:
+                saw_null = True
+        result3: Optional[bool] = True if found else (None if saw_null else False)
+        return tvl_not(result3) if expr.negated else result3
+
+    def _in_subquery(self, expr: ast.InSubquery, env: Optional[Env]) -> Any:
+        value = self.eval(expr.expr, env)
+        rows = self._db._run_subquery(expr.subquery, self._params, env)
+        found = False
+        saw_null = False
+        for row in rows:
+            if len(row) != 1:
+                raise ExecutionError("IN subquery must return one column")
+            result = compare("=", value, row[0])
+            if result is True:
+                found = True
+                break
+            if result is None:
+                saw_null = True
+        result3: Optional[bool] = True if found else (None if saw_null else False)
+        return tvl_not(result3) if expr.negated else result3
+
+    def _exists(self, expr: ast.Exists, env: Optional[Env]) -> Any:
+        rows = self._db._run_subquery(expr.subquery, self._params, env, limit_one=True)
+        result = len(rows) > 0
+        return not result if expr.negated else result
+
+    def _like(self, expr: ast.Like, env: Optional[Env]) -> Any:
+        value = self.eval(expr.expr, env)
+        pattern = self.eval(expr.pattern, env)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise SqlTypeError("LIKE requires string operands")
+        result = bool(_like_to_regex(pattern).match(value))
+        return not result if expr.negated else result
+
+    def _is_null(self, expr: ast.IsNull, env: Optional[Env]) -> Any:
+        value = self.eval(expr.expr, env)
+        result = value is None
+        return not result if expr.negated else result
+
+    def _case(self, expr: ast.Case, env: Optional[Env]) -> Any:
+        if expr.operand is not None:
+            operand = self.eval(expr.operand, env)
+            for cond, result in expr.whens:
+                if compare("=", operand, self.eval(cond, env)) is True:
+                    return self.eval(result, env)
+        else:
+            for cond, result in expr.whens:
+                if self.eval(cond, env) is True:
+                    return self.eval(result, env)
+        return self.eval(expr.else_, env) if expr.else_ is not None else None
+
+    def _cast(self, expr: ast.Cast, env: Optional[Env]) -> Any:
+        value = self.eval(expr.expr, env)
+        if value is None:
+            return None
+        # CAST is more lenient than assignment coercion.
+        from repro.sqlengine.types import SqlType
+
+        if expr.target is SqlType.VARCHAR:
+            return _to_str(value)
+        if expr.target is SqlType.INTEGER:
+            return int(value)
+        if expr.target is SqlType.REAL:
+            return float(value)
+        return coerce(value, expr.target)
+
+    def _scalar_subquery(self, expr: ast.ScalarSubquery, env: Optional[Env]) -> Any:
+        rows = self._db._run_subquery(expr.select, self._params, env)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        if len(rows[0]) != 1:
+            raise ExecutionError("scalar subquery must return one column")
+        return rows[0][0]
+
+    def _tuple(self, expr: ast.TupleExpr, env: Optional[Env]) -> Any:
+        return tuple(self.eval(item, env) for item in expr.items)
+
+    def _star(self, expr: ast.Star, env: Optional[Env]) -> Any:
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _as_truth(value: Any) -> Optional[bool]:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return value
+        raise SqlTypeError(f"expected a boolean condition, got {value!r}")
+
+    _DISPATCH: Dict[type, Callable[..., Any]] = {}
+
+
+Evaluator._DISPATCH = {
+    ast.Literal: Evaluator._literal,
+    ast.HostVar: Evaluator._hostvar,
+    ast.ColumnRef: Evaluator._column,
+    ast.SequenceNextval: Evaluator._nextval,
+    ast.BinaryOp: Evaluator._binary,
+    ast.UnaryOp: Evaluator._unary,
+    ast.FunctionCall: Evaluator._function,
+    ast.Between: Evaluator._between,
+    ast.InList: Evaluator._in_list,
+    ast.InSubquery: Evaluator._in_subquery,
+    ast.Exists: Evaluator._exists,
+    ast.Like: Evaluator._like,
+    ast.IsNull: Evaluator._is_null,
+    ast.Case: Evaluator._case,
+    ast.Cast: Evaluator._cast,
+    ast.ScalarSubquery: Evaluator._scalar_subquery,
+    ast.TupleExpr: Evaluator._tuple,
+    ast.Star: Evaluator._star,
+}
+
+
+def _to_str(value: Any) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    for operand in (left, right):
+        if not isinstance(operand, (int, float)) or isinstance(operand, bool):
+            if isinstance(operand, datetime.date) and op in ("-",):
+                continue
+            raise SqlTypeError(f"arithmetic on non-numeric value {operand!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+            return (left - right).days
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        # Oracle semantics: '/' is exact division (the paper's support
+        # ratios COUNT(*) / :totg rely on this).
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left % right
+    raise ExecutionError(f"unknown operator {op!r}")

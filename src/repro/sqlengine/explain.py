@@ -1,0 +1,143 @@
+"""EXPLAIN: render the physical plan of a SELECT statement.
+
+The translator and benchmarks use this to document which plan shapes
+back the generated queries Q0..Q11 (e.g. that query Q4 runs as a
+pipeline of two hash joins).  The output is a stable, indented tree::
+
+    Project [distinct] (Gid, Bid)
+      HashJoin keys=[S.item = B.item]
+        HashJoin keys=[S.customer = V.customer]
+          Scan MR_Source as S
+          Scan MR_ValidGroups as V
+        Scan MR_Bset as B
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.evaluator import Evaluator
+from repro.sqlengine.operators import (
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    IndexLookup,
+    LeftOuterHashJoin,
+    NestedLoopJoin,
+    Operator,
+    RowsSource,
+    TableScan,
+)
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.planner import SelectPlanner, conjoin
+from repro.sqlengine.render import render_expr
+
+
+def explain(database: Any, sql: str, params: Optional[dict] = None) -> str:
+    """Plan *sql* (a SELECT) and return the plan tree as text."""
+    statement = parse_sql(sql)
+    if not isinstance(statement, ast.Select):
+        return f"{type(statement).__name__} (no plan: executed directly)"
+    merged = dict(database.variables)
+    if params:
+        merged.update(params)
+    database._params = merged
+    evaluator = Evaluator(database, merged)
+    planner = SelectPlanner(database, evaluator)
+    root, leftovers = planner.plan_from(statement)
+
+    lines: List[str] = []
+    lines.append(_projection_line(statement))
+    indent = 1
+    if statement.order_by:
+        lines.append("  " * indent + f"Sort ({len(statement.order_by)} keys)")
+        indent += 1
+    if statement.group_by or statement.having is not None:
+        having = (
+            f" having={render_expr(statement.having)}"
+            if statement.having is not None
+            else ""
+        )
+        keys = ", ".join(render_expr(e) for e in statement.group_by) or "<all>"
+        lines.append("  " * indent + f"Aggregate keys=({keys}){having}")
+        indent += 1
+    residual = conjoin(leftovers)
+    if residual is not None:
+        lines.append(
+            "  " * indent + f"Filter {render_expr(residual)}"
+        )
+        indent += 1
+    if root is None:
+        lines.append("  " * indent + "SingleRow")
+    else:
+        _render_operator(root, indent, lines)
+    return "\n".join(lines)
+
+
+def _projection_line(statement: ast.Select) -> str:
+    flags = " [distinct]" if statement.distinct else ""
+    items = []
+    for item in statement.items:
+        if isinstance(item.expr, ast.Star):
+            items.append(
+                f"{item.expr.qualifier}.*" if item.expr.qualifier else "*"
+            )
+        else:
+            items.append(item.alias or render_expr(item.expr))
+    return f"Project{flags} ({', '.join(items)})"
+
+
+def _render_operator(op: Operator, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(op, TableScan):
+        alias = f" as {op.binding}" if op.binding != op.table.name else ""
+        lines.append(f"{pad}Scan {op.table.name}{alias} "
+                     f"({len(op.table)} rows)")
+    elif isinstance(op, IndexLookup):
+        keys = ", ".join(
+            f"{column} = {render_expr(expr)}"
+            for column, expr in zip(op.index.columns, op.key_exprs)
+        )
+        lines.append(
+            f"{pad}IndexLookup {op.table.name}.{op.index.name} [{keys}]"
+        )
+    elif isinstance(op, RowsSource):
+        name = op.frame.sources[0][0] or "<derived>"
+        lines.append(f"{pad}Materialized {name} ({len(op.rows)} rows)")
+    elif isinstance(op, Filter):
+        lines.append(f"{pad}Filter {render_expr(op.predicate)}")
+        _render_operator(op.child, indent + 1, lines)
+    elif isinstance(op, LeftOuterHashJoin):
+        lines.append(f"{pad}LeftOuterHashJoin {_join_detail(op)}")
+        _render_operator(op.left, indent + 1, lines)
+        _render_operator(op.right, indent + 1, lines)
+    elif isinstance(op, HashJoin):
+        lines.append(f"{pad}HashJoin {_join_detail(op)}")
+        _render_operator(op.left, indent + 1, lines)
+        _render_operator(op.right, indent + 1, lines)
+    elif isinstance(op, NestedLoopJoin):
+        predicate = (
+            f" on {render_expr(op.predicate)}" if op.predicate is not None
+            else ""
+        )
+        lines.append(f"{pad}NestedLoopJoin{predicate}")
+        _render_operator(op.left, indent + 1, lines)
+        _render_operator(op.right, indent + 1, lines)
+    elif isinstance(op, GroupAggregate):
+        keys = ", ".join(render_expr(k) for k in op.keys) or "<all>"
+        lines.append(f"{pad}Aggregate keys=({keys})")
+        _render_operator(op.child, indent + 1, lines)
+    else:  # pragma: no cover - future operators
+        lines.append(f"{pad}{type(op).__name__}")
+
+
+def _join_detail(op) -> str:
+    keys = ", ".join(
+        f"{render_expr(lk)} = {render_expr(rk)}"
+        for lk, rk in zip(op.left_keys, op.right_keys)
+    )
+    detail = f"keys=[{keys}]" if keys else "keys=[] (cross)"
+    if op.residual is not None:
+        detail += f" residual={render_expr(op.residual)}"
+    return detail

@@ -1,0 +1,279 @@
+"""Physical operators for query execution.
+
+Operators follow the iterator (Volcano) model: each exposes a
+:attr:`frame` describing its output schema and an :meth:`envs` method
+yielding :class:`~repro.sqlengine.evaluator.Env` objects.  A frame can
+contain several sources (one per joined table), so column references
+keep their table qualifiers through the pipeline; projection collapses
+the frame into a single anonymous source.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.evaluator import Env, Evaluator, Frame
+from repro.sqlengine.table import Table
+
+
+class Operator:
+    """Base physical operator."""
+
+    frame: Frame
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        """Yield row environments; *parent* is the enclosing scope used
+        by correlated subqueries."""
+        raise NotImplementedError
+
+
+class TableScan(Operator):
+    """Full scan of a base table under a binding name."""
+
+    def __init__(self, table: Table, binding: str):
+        self.table = table
+        self.binding = binding
+        self.frame = Frame.single(binding, table.columns)
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        frame = self.frame
+        for row in self.table.rows:
+            yield Env(frame, (row,), parent=parent)
+
+
+class IndexLookup(Operator):
+    """Equality lookup through a secondary hash index.
+
+    ``key_exprs`` are evaluated per call against the *parent*
+    environment (they may reference outer scopes or host variables),
+    so the same plan node serves constant predicates and correlated
+    subqueries alike.
+    """
+
+    def __init__(self, table: Table, binding: str, index, key_exprs,
+                 evaluator):
+        self.table = table
+        self.binding = binding
+        self.index = index
+        self.key_exprs = key_exprs
+        self.evaluator = evaluator
+        self.frame = Frame.single(binding, table.columns)
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        key = tuple(
+            self.evaluator.eval(expr, parent) for expr in self.key_exprs
+        )
+        if any(value is None for value in key):
+            return
+        frame = self.frame
+        for row in self.index.lookup(key):
+            yield Env(frame, (row,), parent=parent)
+
+
+class RowsSource(Operator):
+    """Materialized rows under a binding (derived tables, views)."""
+
+    def __init__(
+        self, binding: Optional[str], columns: List[str], rows: List[Tuple[Any, ...]]
+    ):
+        self.frame = Frame.single(binding, columns)
+        self.rows = rows
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        frame = self.frame
+        for row in self.rows:
+            yield Env(frame, (row,), parent=parent)
+
+
+class Filter(Operator):
+    """Keeps rows whose predicate evaluates to TRUE."""
+
+    def __init__(self, child: Operator, predicate: ast.Expression, evaluator: Evaluator):
+        self.child = child
+        self.predicate = predicate
+        self.evaluator = evaluator
+        self.frame = child.frame
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        evaluator = self.evaluator
+        predicate = self.predicate
+        for env in self.child.envs(parent):
+            if evaluator.eval_predicate(predicate, env):
+                yield env
+
+
+class NestedLoopJoin(Operator):
+    """Cross/theta join; the optional residual predicate is applied to
+    the combined environment."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        evaluator: Evaluator,
+        predicate: Optional[ast.Expression] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.evaluator = evaluator
+        self.predicate = predicate
+        self.frame = left.frame.combine(right.frame)
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        evaluator = self.evaluator
+        predicate = self.predicate
+        frame = self.frame
+        right_envs = list(self.right.envs(parent))
+        for left_env in self.left.envs(parent):
+            for right_env in right_envs:
+                rows = tuple(left_env.rows) + tuple(right_env.rows)
+                env = Env(frame, rows, parent=parent)
+                if predicate is None or evaluator.eval_predicate(predicate, env):
+                    yield env
+
+
+class HashJoin(Operator):
+    """Equi-join: builds a hash table on the right input.
+
+    ``left_keys`` / ``right_keys`` are expressions evaluated against the
+    respective child environments; rows with any NULL key never match
+    (SQL equality semantics).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: List[ast.Expression],
+        right_keys: List[ast.Expression],
+        evaluator: Evaluator,
+        residual: Optional[ast.Expression] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.evaluator = evaluator
+        self.residual = residual
+        self.frame = left.frame.combine(right.frame)
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        evaluator = self.evaluator
+        build: Dict[Tuple[Any, ...], List[Env]] = {}
+        for right_env in self.right.envs(parent):
+            key = tuple(evaluator.eval(k, right_env) for k in self.right_keys)
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(right_env)
+        frame = self.frame
+        residual = self.residual
+        for left_env in self.left.envs(parent):
+            key = tuple(evaluator.eval(k, left_env) for k in self.left_keys)
+            if any(v is None for v in key):
+                continue
+            for right_env in build.get(key, ()):
+                rows = tuple(left_env.rows) + tuple(right_env.rows)
+                env = Env(frame, rows, parent=parent)
+                if residual is None or evaluator.eval_predicate(residual, env):
+                    yield env
+
+
+class LeftOuterHashJoin(Operator):
+    """LEFT OUTER equi-join; unmatched left rows pad the right side with
+    NULLs."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: List[ast.Expression],
+        right_keys: List[ast.Expression],
+        evaluator: Evaluator,
+        residual: Optional[ast.Expression] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.evaluator = evaluator
+        self.residual = residual
+        self.frame = left.frame.combine(right.frame)
+        self._null_rows = tuple(
+            tuple([None] * len(columns)) for _, columns in right.frame.sources
+        )
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        evaluator = self.evaluator
+        build: Dict[Tuple[Any, ...], List[Env]] = {}
+        for right_env in self.right.envs(parent):
+            key = tuple(evaluator.eval(k, right_env) for k in self.right_keys)
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(right_env)
+        frame = self.frame
+        residual = self.residual
+        for left_env in self.left.envs(parent):
+            key = tuple(evaluator.eval(k, left_env) for k in self.left_keys)
+            matched = False
+            if not any(v is None for v in key):
+                for right_env in build.get(key, ()):
+                    rows = tuple(left_env.rows) + tuple(right_env.rows)
+                    env = Env(frame, rows, parent=parent)
+                    if residual is None or evaluator.eval_predicate(residual, env):
+                        matched = True
+                        yield env
+            if not matched:
+                rows = tuple(left_env.rows) + self._null_rows
+                yield Env(frame, rows, parent=parent)
+
+
+class GroupAggregate(Operator):
+    """Hash grouping.  Produces one environment per group; the
+    representative env carries ``group`` (the member envs) so the
+    evaluator can compute aggregates lazily.
+
+    With no GROUP BY keys and aggregates present, a single global group
+    is emitted even for empty input (``scalar`` mode).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: List[ast.Expression],
+        evaluator: Evaluator,
+        scalar: bool = False,
+    ):
+        self.child = child
+        self.keys = keys
+        self.evaluator = evaluator
+        self.scalar = scalar
+        self.frame = child.frame
+
+    def envs(self, parent: Optional[Env]) -> Iterator[Env]:
+        evaluator = self.evaluator
+        groups: Dict[Tuple[Any, ...], List[Env]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for env in self.child.envs(parent):
+            key = tuple(evaluator.eval(k, env) for k in self.keys)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [env]
+                order.append(key)
+            else:
+                bucket.append(env)
+        if not groups and self.scalar:
+            empty = Env(
+                self.frame,
+                tuple(
+                    tuple([None] * len(columns))
+                    for _, columns in self.frame.sources
+                ),
+                parent=parent,
+                group=[],
+            )
+            yield empty
+            return
+        for key in order:
+            members = groups[key]
+            yield members[0].with_group(members)

@@ -1,0 +1,21 @@
+"""Engine tuning options.
+
+The defaults are what a production engine would do; the switches exist
+so the ablation benchmarks (SYN-6) can quantify what each planner
+feature buys the mining workload — e.g. how much of query Q4's cost
+the hash join removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineOptions:
+    """Planner/executor feature switches."""
+
+    #: use hash joins for equality conjuncts (else nested loops)
+    hash_joins: bool = True
+    #: push single-table WHERE conjuncts below joins
+    filter_pushdown: bool = True

@@ -1,0 +1,229 @@
+"""Render expression/statement ASTs back to SQL text.
+
+The mining translator composes its preprocessing programs (queries
+Q0..Q11) as *SQL text*, splicing in the search conditions that the user
+wrote inside the MINE RULE statement.  Those conditions are parsed
+expression trees, so this module provides the inverse of the parser.
+
+Rendering is deliberately conservative: every binary expression is
+parenthesised, which keeps the output unambiguous without tracking
+operator precedence.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Callable, Dict, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import SqlError
+
+
+def render_expr(
+    expr: ast.Expression,
+    qualifier_map: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render an expression to SQL text.
+
+    ``qualifier_map`` remaps column qualifiers (case-insensitive): the
+    translator uses it to turn ``BODY.price`` into ``B.price`` when the
+    condition is evaluated against aliased encoded tables.  Unqualified
+    references may be given a qualifier via the ``""`` key.
+    """
+    return _Renderer(qualifier_map or {}).render(expr)
+
+
+class _Renderer:
+    def __init__(self, qualifier_map: Dict[str, str]):
+        self._map = {k.lower(): v for k, v in qualifier_map.items()}
+
+    def render(self, expr: ast.Expression) -> str:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise SqlError(f"cannot render expression node {expr!r}")
+        return method(self, expr)
+
+    # -- handlers ---------------------------------------------------------
+
+    def _literal(self, expr: ast.Literal) -> str:
+        return render_literal(expr.value)
+
+    def _hostvar(self, expr: ast.HostVar) -> str:
+        return f":{expr.name}"
+
+    def _column(self, expr: ast.ColumnRef) -> str:
+        qualifier = expr.qualifier
+        if qualifier is not None and qualifier.lower() in self._map:
+            qualifier = self._map[qualifier.lower()]
+        elif qualifier is None and "" in self._map:
+            qualifier = self._map[""]
+        return f"{qualifier}.{expr.name}" if qualifier else expr.name
+
+    def _nextval(self, expr: ast.SequenceNextval) -> str:
+        return f"{expr.sequence}.NEXTVAL"
+
+    def _binary(self, expr: ast.BinaryOp) -> str:
+        return f"({self.render(expr.left)} {expr.op} {self.render(expr.right)})"
+
+    def _unary(self, expr: ast.UnaryOp) -> str:
+        if expr.op == "NOT":
+            return f"(NOT {self.render(expr.operand)})"
+        return f"({expr.op}{self.render(expr.operand)})"
+
+    def _function(self, expr: ast.FunctionCall) -> str:
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(self.render(a) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+
+    def _between(self, expr: ast.Between) -> str:
+        negation = " NOT" if expr.negated else ""
+        return (
+            f"({self.render(expr.expr)}{negation} BETWEEN "
+            f"{self.render(expr.low)} AND {self.render(expr.high)})"
+        )
+
+    def _in_list(self, expr: ast.InList) -> str:
+        negation = " NOT" if expr.negated else ""
+        items = ", ".join(self.render(i) for i in expr.items)
+        return f"({self.render(expr.expr)}{negation} IN ({items}))"
+
+    def _in_subquery(self, expr: ast.InSubquery) -> str:
+        negation = " NOT" if expr.negated else ""
+        return (
+            f"({self.render(expr.expr)}{negation} IN "
+            f"({render_select(expr.subquery, self._map)}))"
+        )
+
+    def _exists(self, expr: ast.Exists) -> str:
+        negation = "NOT " if expr.negated else ""
+        return f"({negation}EXISTS ({render_select(expr.subquery, self._map)}))"
+
+    def _like(self, expr: ast.Like) -> str:
+        negation = " NOT" if expr.negated else ""
+        return f"({self.render(expr.expr)}{negation} LIKE {self.render(expr.pattern)})"
+
+    def _is_null(self, expr: ast.IsNull) -> str:
+        negation = " NOT" if expr.negated else ""
+        return f"({self.render(expr.expr)} IS{negation} NULL)"
+
+    def _case(self, expr: ast.Case) -> str:
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(self.render(expr.operand))
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {self.render(cond)} THEN {self.render(result)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {self.render(expr.else_)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+
+    def _cast(self, expr: ast.Cast) -> str:
+        return f"CAST({self.render(expr.expr)} AS {expr.target.value})"
+
+    def _scalar_subquery(self, expr: ast.ScalarSubquery) -> str:
+        return f"({render_select(expr.select, self._map)})"
+
+    def _tuple(self, expr: ast.TupleExpr) -> str:
+        return "(" + ", ".join(self.render(i) for i in expr.items) + ")"
+
+    def _star(self, expr: ast.Star) -> str:
+        return f"{expr.qualifier}.*" if expr.qualifier else "*"
+
+    _DISPATCH: Dict[type, Callable] = {}
+
+
+_Renderer._DISPATCH = {
+    ast.Literal: _Renderer._literal,
+    ast.HostVar: _Renderer._hostvar,
+    ast.ColumnRef: _Renderer._column,
+    ast.SequenceNextval: _Renderer._nextval,
+    ast.BinaryOp: _Renderer._binary,
+    ast.UnaryOp: _Renderer._unary,
+    ast.FunctionCall: _Renderer._function,
+    ast.Between: _Renderer._between,
+    ast.InList: _Renderer._in_list,
+    ast.InSubquery: _Renderer._in_subquery,
+    ast.Exists: _Renderer._exists,
+    ast.Like: _Renderer._like,
+    ast.IsNull: _Renderer._is_null,
+    ast.Case: _Renderer._case,
+    ast.Cast: _Renderer._cast,
+    ast.ScalarSubquery: _Renderer._scalar_subquery,
+    ast.TupleExpr: _Renderer._tuple,
+    ast.Star: _Renderer._star,
+}
+
+
+def render_literal(value: object) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise SqlError(f"cannot render literal {value!r}")
+
+
+def render_select(
+    select: ast.Select, qualifier_map: Optional[Dict[str, str]] = None
+) -> str:
+    """Render a SELECT AST back to text (used for subqueries embedded
+    in rendered conditions)."""
+    renderer = _Renderer(qualifier_map or {})
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in select.items:
+        text = renderer.render(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if select.from_sources:
+        parts.append("FROM")
+        parts.append(
+            ", ".join(_render_source(s, renderer) for s in select.from_sources)
+        )
+    if select.where is not None:
+        parts.append("WHERE " + renderer.render(select.where))
+    if select.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(renderer.render(e) for e in select.group_by)
+        )
+    if select.having is not None:
+        parts.append("HAVING " + renderer.render(select.having))
+    if select.order_by:
+        rendered = []
+        for order_item in select.order_by:
+            text = renderer.render(order_item.expr)
+            if not order_item.ascending:
+                text += " DESC"
+            rendered.append(text)
+        parts.append("ORDER BY " + ", ".join(rendered))
+    return " ".join(parts)
+
+
+def _render_source(source: ast.FromSource, renderer: _Renderer) -> str:
+    if isinstance(source, ast.TableName):
+        return f"{source.name} {source.alias}" if source.alias else source.name
+    if isinstance(source, ast.SubquerySource):
+        inner = render_select(source.select)
+        return f"({inner}) {source.alias}" if source.alias else f"({inner})"
+    if isinstance(source, ast.Join):
+        left = _render_source(source.left, renderer)
+        right = _render_source(source.right, renderer)
+        if source.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        keyword = "LEFT JOIN" if source.kind == "LEFT" else "JOIN"
+        condition = renderer.render(source.condition)
+        return f"{left} {keyword} {right} ON {condition}"
+    raise SqlError(f"cannot render FROM source {source!r}")

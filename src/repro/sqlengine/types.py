@@ -1,0 +1,140 @@
+"""SQL value types and coercion rules.
+
+The engine supports the scalar types needed by the mining architecture:
+``INTEGER``, ``REAL`` (synonyms: ``FLOAT``, ``NUMERIC``, ``DECIMAL``),
+``VARCHAR`` (synonyms: ``CHAR``, ``TEXT``), ``DATE`` and ``BOOLEAN``.
+
+Python-side representations:
+
+===========  =======================
+SQL type     Python type
+===========  =======================
+INTEGER      :class:`int`
+REAL         :class:`float`
+VARCHAR      :class:`str`
+DATE         :class:`datetime.date`
+BOOLEAN      :class:`bool`
+NULL         ``None``
+===========  =======================
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any, Optional
+
+from repro.sqlengine.errors import SqlTypeError
+
+
+class SqlType(enum.Enum):
+    """Enumeration of supported SQL scalar types."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Accepted spellings for each type in DDL.
+_TYPE_SYNONYMS = {
+    "INT": SqlType.INTEGER,
+    "INTEGER": SqlType.INTEGER,
+    "SMALLINT": SqlType.INTEGER,
+    "BIGINT": SqlType.INTEGER,
+    "REAL": SqlType.REAL,
+    "FLOAT": SqlType.REAL,
+    "DOUBLE": SqlType.REAL,
+    "NUMERIC": SqlType.REAL,
+    "DECIMAL": SqlType.REAL,
+    "VARCHAR": SqlType.VARCHAR,
+    "CHAR": SqlType.VARCHAR,
+    "CHARACTER": SqlType.VARCHAR,
+    "TEXT": SqlType.VARCHAR,
+    "STRING": SqlType.VARCHAR,
+    "DATE": SqlType.DATE,
+    "BOOLEAN": SqlType.BOOLEAN,
+    "BOOL": SqlType.BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> SqlType:
+    """Resolve a DDL type name (case-insensitive) to a :class:`SqlType`.
+
+    Raises :class:`SqlTypeError` for unknown names.
+    """
+    try:
+        return _TYPE_SYNONYMS[name.upper()]
+    except KeyError:
+        raise SqlTypeError(f"unknown SQL type: {name!r}") from None
+
+
+def infer_type(value: Any) -> Optional[SqlType]:
+    """Infer the SQL type of a Python value (``None`` for SQL NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    if isinstance(value, str):
+        return SqlType.VARCHAR
+    if isinstance(value, datetime.date):
+        return SqlType.DATE
+    raise SqlTypeError(f"unsupported Python value for SQL: {value!r}")
+
+
+def coerce(value: Any, target: SqlType) -> Any:
+    """Coerce *value* to *target* type, or raise :class:`SqlTypeError`.
+
+    NULL passes through unchanged.  Numeric widening (int -> float) and
+    ISO-format date strings are accepted; anything else must match.
+    """
+    if value is None:
+        return None
+    if target is SqlType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+    elif target is SqlType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+    elif target is SqlType.VARCHAR:
+        if isinstance(value, str):
+            return value
+    elif target is SqlType.DATE:
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError:
+                raise SqlTypeError(
+                    f"invalid DATE literal: {value!r} (expected YYYY-MM-DD)"
+                ) from None
+    elif target is SqlType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+    raise SqlTypeError(f"cannot coerce {value!r} to {target}")
+
+
+def is_comparable(left: Any, right: Any) -> bool:
+    """True when the two non-NULL values may be ordered against each other."""
+    lt, rt = infer_type(left), infer_type(right)
+    if lt is None or rt is None:
+        return True
+    numeric = {SqlType.INTEGER, SqlType.REAL, SqlType.BOOLEAN}
+    if lt in numeric and rt in numeric:
+        return True
+    return lt is rt

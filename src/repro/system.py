@@ -1,0 +1,269 @@
+"""The mining system facade.
+
+:class:`MiningSystem` wires the kernel components of Figure 3a into the
+process flow the paper describes: the user submits a MINE RULE
+statement; the translator validates/classifies it and emits SQL
+programs; the preprocessor runs them on the SQL server; the core
+operator mines encoded rules; the postprocessor stores and decodes the
+output relations.  The result object carries everything an application
+(or the paper's AMORE user support) needs: decoded rules, the output
+table names, the directive vector, per-phase timings and the process
+trace.
+
+It also implements the preprocessing-reuse optimisation noted in
+Section 3 ("the same preprocessing could be in common to the execution
+of several data mining queries, thus saving its cost"): executions
+whose FROM/GROUP/CLUSTER/encoding parts coincide share their encoded
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.algorithms import FrequentItemsetMiner, get_algorithm
+from repro.kernel.core.general import GeneralCoreOperator
+from repro.kernel.core.inputs import CoreInputLoader
+from repro.kernel.core.rules import EncodedRule
+from repro.kernel.core.simple import SimpleCoreOperator
+from repro.kernel.names import Workspace
+from repro.kernel.postprocessor import DecodedRule, Postprocessor
+from repro.kernel.preprocessor import Preprocessor, PreprocessStats
+from repro.kernel.program import TranslationProgram
+from repro.kernel.trace import ProcessFlow
+from repro.kernel.translator import Translator
+from repro.minerule.statements import MineRuleStatement
+from repro.sqlengine.engine import Database
+from repro.sqlengine.render import render_expr
+
+
+@dataclass
+class MiningResult:
+    """Outcome of one MINE RULE execution."""
+
+    statement: MineRuleStatement
+    program: TranslationProgram
+    encoded_rules: List[EncodedRule]
+    rules: List[DecodedRule]
+    preprocess_stats: Optional[PreprocessStats]
+    flow: ProcessFlow
+    #: True when encoded tables were reused from a previous execution
+    preprocessing_reused: bool = False
+
+    @property
+    def directives(self):
+        return self.program.directives
+
+    @property
+    def output_table(self) -> str:
+        return self.statement.output_table
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        return self.flow.timings
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rule_set(self) -> set:
+        """{(body frozenset, head frozenset, support, confidence)} with
+        ratios rounded for robust comparisons."""
+        return {
+            (r.body, r.head, round(r.support, 9), round(r.confidence, 9))
+            for r in self.rules
+        }
+
+
+class MiningSystem:
+    """Tightly-coupled data mining on top of the SQL engine."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        algorithm: Union[str, FrequentItemsetMiner] = "apriori",
+        reuse_preprocessing: bool = True,
+    ):
+        self.db = database if database is not None else Database()
+        if isinstance(algorithm, str):
+            algorithm = get_algorithm(algorithm)
+        self.algorithm = algorithm
+        self.reuse_preprocessing = reuse_preprocessing
+        self._translator = Translator(self.db)
+        self._preprocessor = Preprocessor(self.db)
+        self._postprocessor = Postprocessor(self.db)
+        self._executions = 0
+        #: preprocessing signature -> (workspace, totg, mingroups)
+        self._preprocess_cache: Dict[tuple, Tuple[Workspace, int, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def execute(self, statement_text: str) -> MiningResult:
+        """Run one MINE RULE statement end to end."""
+        flow = ProcessFlow()
+        self._executions += 1
+
+        # -- translator -------------------------------------------------
+        flow.start("translator")
+        flow.event("translator", "received statement")
+        signature_workspace = Workspace(f"MR{self._executions}")
+        program = self._translator.translate(
+            statement_text, signature_workspace
+        )
+        flow.event(
+            "translator",
+            "validated and classified",
+            f"directives {program.directives}",
+        )
+        flow.stop()
+
+        # -- preprocessor ------------------------------------------------
+        signature = self._preprocess_signature(program)
+        cached = (
+            self._preprocess_cache.get(signature)
+            if self.reuse_preprocessing
+            else None
+        )
+        stats: Optional[PreprocessStats] = None
+        reused = False
+        flow.start("preprocessor")
+        if cached is not None:
+            workspace, totg, mingroups = cached
+            # Re-target the program onto the cached workspace.
+            program = self._translator.translate(statement_text, workspace)
+            self.db.variables["totg"] = totg
+            self.db.variables["mingroups"] = mingroups
+            reused = True
+            flow.event(
+                "preprocessor",
+                "reused encoded tables",
+                f"workspace {workspace.prefix} (Section 3 optimisation)",
+            )
+            # The output tables of *this* statement must still be fresh.
+            self._drop_output_tables(program)
+        else:
+            stats = self._preprocessor.run(program, flow)
+            if self.reuse_preprocessing:
+                self._preprocess_cache[signature] = (
+                    program.workspace,
+                    stats.totg,
+                    stats.mingroups,
+                )
+        flow.stop()
+
+        # -- core operator -------------------------------------------------
+        flow.start("core")
+        loader = CoreInputLoader(self.db, program.core)
+        if program.core.simple:
+            data = loader.load_simple()
+            operator = SimpleCoreOperator(self.algorithm)
+            flow.event(
+                "core",
+                "simple core processing",
+                f"algorithm {self.algorithm.name}, "
+                f"{len(data.groups)} encoded groups",
+            )
+            encoded_rules = operator.run(data, program.core)
+        else:
+            general_data = loader.load_general()
+            general = GeneralCoreOperator()
+            flow.event(
+                "core",
+                "general core processing",
+                "elementary rules from InputRules"
+                if general_data.elementary is not None
+                else "elementary rules derived from CodedSource",
+            )
+            encoded_rules = general.run(general_data, program.core)
+        flow.event("core", "extracted rules", f"{len(encoded_rules)} rules")
+        flow.stop()
+
+        # -- postprocessor -----------------------------------------------
+        flow.start("postprocessor")
+        self._postprocessor.store_encoded_rules(program, encoded_rules)
+        self._postprocessor.decode(program)
+        decoded = self._postprocessor.decoded_rules(program, encoded_rules)
+        flow.event(
+            "postprocessor",
+            "stored output relations",
+            f"{program.statement.output_table}, "
+            f"{program.statement.output_table}_Bodies, "
+            f"{program.statement.output_table}_Heads",
+        )
+        flow.stop()
+
+        return MiningResult(
+            statement=program.statement,
+            program=program,
+            encoded_rules=encoded_rules,
+            rules=decoded,
+            preprocess_stats=stats,
+            flow=flow,
+            preprocessing_reused=reused,
+        )
+
+    # ------------------------------------------------------------------
+
+    def compute_metrics(self, result: MiningResult, store: bool = True):
+        """Extended rule-quality measures (lift, leverage, conviction)
+        for a just-executed result; optionally persisted as
+        ``<out>_Metrics``.  Requires the result's encoded tables to
+        still be in the database (i.e. call right after execute)."""
+        from repro.kernel.metrics import compute_metrics, store_metrics
+
+        metrics = compute_metrics(self.db, result.program,
+                                  result.encoded_rules)
+        if store:
+            store_metrics(self.db, result.program, metrics)
+        return metrics
+
+    def invalidate_preprocessing(self, drop_tables: bool = False) -> None:
+        """Drop the preprocessing-reuse cache (call after updating the
+        source tables).  With ``drop_tables`` the cached encoded tables
+        are also removed from the database, bounding memory across
+        long sessions."""
+        if drop_tables:
+            for workspace, _, _ in self._preprocess_cache.values():
+                for view in workspace.all_views():
+                    self.db.catalog.drop_view(view, if_exists=True)
+                for table in workspace.all_tables():
+                    self.db.catalog.drop_table(table, if_exists=True)
+                for sequence in workspace.all_sequences():
+                    self.db.catalog.drop_sequence(sequence, if_exists=True)
+        self._preprocess_cache.clear()
+
+    def _preprocess_signature(self, program: TranslationProgram) -> tuple:
+        """Statements share encoded tables iff this signature matches:
+        all parts that affect queries Q0..Q11 (including the support
+        threshold, which parameterizes the Bset/Hset encoding)."""
+        statement = program.statement
+
+        def render(expr) -> str:
+            return "" if expr is None else render_expr(expr)
+
+        return (
+            tuple((t.name.lower(), t.alias) for t in statement.from_list),
+            render(statement.source_condition),
+            tuple(a.lower() for a in statement.group_attributes),
+            render(statement.group_condition),
+            tuple(a.lower() for a in statement.cluster_attributes),
+            render(statement.cluster_condition),
+            tuple(a.lower() for a in statement.body.attributes),
+            tuple(a.lower() for a in statement.head.attributes),
+            render(statement.mining_condition),
+            statement.min_support,
+            program.directives.as_tuple(),
+        )
+
+    def _drop_output_tables(self, program: TranslationProgram) -> None:
+        out = program.statement.output_table
+        names = program.workspace
+        for table in (
+            out,
+            f"{out}_Bodies",
+            f"{out}_Heads",
+            f"{out}_Display",
+            names.output_bodies,
+            names.output_heads,
+        ):
+            self.db.catalog.drop_table(table, if_exists=True)

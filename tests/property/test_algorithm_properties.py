@@ -1,0 +1,119 @@
+"""Property-based tests for the mining-algorithm pool.
+
+The contract: every algorithm returns exactly the frequent itemsets
+with exact group counts, for any input.  A brute-force enumerator is
+the oracle.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+
+#: small universes keep brute force tractable while covering the
+#: combinatorics (collisions, shared prefixes, deep itemsets)
+group_maps = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=30),
+    values=st.frozensets(st.integers(min_value=0, max_value=7), max_size=6),
+    max_size=12,
+)
+
+thresholds = st.integers(min_value=1, max_value=5)
+
+
+def brute_force(groups, min_count):
+    items = sorted({i for s in groups.values() for i in s})
+    counts = {}
+    for size in range(1, len(items) + 1):
+        any_frequent = False
+        for combo in itertools.combinations(items, size):
+            count = sum(1 for s in groups.values() if frozenset(combo) <= s)
+            if count >= min_count:
+                counts[frozenset(combo)] = count
+                any_frequent = True
+        if not any_frequent:
+            break
+    return counts
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestExactness:
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, name, groups, min_count):
+        result = get_algorithm(name).mine(groups, min_count)
+        assert result == brute_force(groups, min_count)
+
+
+class TestStructuralInvariants:
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_downward_closure(self, groups, min_count):
+        """Every subset of a frequent itemset is frequent (Apriori
+        property), with a count at least as large."""
+        counts = get_algorithm("apriori").mine(groups, min_count)
+        for itemset, count in counts.items():
+            if len(itemset) < 2:
+                continue
+            for item in itemset:
+                subset = itemset - {item}
+                assert subset in counts
+                assert counts[subset] >= count
+
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_bounded_by_group_count(self, groups, min_count):
+        counts = get_algorithm("apriori").mine(groups, min_count)
+        for count in counts.values():
+            assert min_count <= count <= len(groups)
+
+    @given(groups=group_maps)
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_one_covers_every_singleton(self, groups):
+        counts = get_algorithm("apriori").mine(groups, 1)
+        present = {i for s in groups.values() for i in s}
+        for item in present:
+            assert frozenset({item}) in counts
+
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_threshold(self, groups, min_count):
+        loose = get_algorithm("apriori").mine(groups, min_count)
+        tight = get_algorithm("apriori").mine(groups, min_count + 1)
+        assert set(tight) <= set(loose)
+        for itemset, count in tight.items():
+            assert loose[itemset] == count
+
+
+class TestPairwiseAgreement:
+    @given(groups=group_maps, min_count=thresholds,
+           seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_agrees_with_apriori_any_seed(
+        self, groups, min_count, seed
+    ):
+        reference = get_algorithm("apriori").mine(groups, min_count)
+        sampled = get_algorithm("sampling", seed=seed).mine(groups, min_count)
+        assert sampled == reference
+
+    @given(groups=group_maps, min_count=thresholds,
+           partitions=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_agrees_for_any_partitioning(
+        self, groups, min_count, partitions
+    ):
+        reference = get_algorithm("apriori").mine(groups, min_count)
+        result = get_algorithm("partition", partitions=partitions).mine(
+            groups, min_count
+        )
+        assert result == reference
+
+    @given(groups=group_maps, min_count=thresholds,
+           buckets=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_dhp_exact_for_any_bucket_count(self, groups, min_count, buckets):
+        reference = get_algorithm("apriori").mine(groups, min_count)
+        result = get_algorithm("dhp", buckets=buckets).mine(groups, min_count)
+        assert result == reference

@@ -1,0 +1,118 @@
+"""Round-trip property: parse -> render -> parse is a fixpoint.
+
+Random MINE RULE statements are assembled from generated clauses; the
+rendered text must re-parse to a statement whose second rendering is
+byte-identical (proving structural identity without needing dataclass
+equality across expression trees).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.minerule import classify, parse_mine_rule, render_mine_rule
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    # avoid MINE RULE clause words and SQL keywords in generated names
+    lambda s: s.upper() not in {
+        "MINE", "RULE", "AS", "SELECT", "DISTINCT", "WHERE", "FROM",
+        "GROUP", "BY", "HAVING", "CLUSTER", "EXTRACTING", "RULES",
+        "WITH", "SUPPORT", "CONFIDENCE", "BODY", "HEAD", "AND", "OR",
+        "NOT", "IN", "IS", "NULL", "BETWEEN", "LIKE", "ALL", "DATE",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "UNION", "CASE", "END",
+        "ON", "SET", "TRUE", "FALSE", "EXISTS", "N",
+    }
+)
+
+cards = st.one_of(
+    st.none(),
+    st.tuples(st.integers(1, 3), st.one_of(st.none(), st.integers(3, 6))),
+)
+
+thresholds = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False
+).map(lambda f: round(f, 3))
+
+
+@st.composite
+def statements(draw):
+    out = draw(identifiers)
+    body_attr = draw(identifiers)
+    head_attr = draw(identifiers)
+    group_attr = draw(
+        identifiers.filter(lambda a: a not in (body_attr, head_attr))
+    )
+    cluster_attr = draw(
+        st.one_of(
+            st.none(),
+            identifiers.filter(
+                lambda a: a not in (body_attr, head_attr, group_attr)
+            ),
+        )
+    )
+
+    def card_text(card):
+        if card is None:
+            return ""
+        low, high = card
+        return f"{low}..{high if high is not None else 'n'} "
+
+    body_card = draw(cards)
+    head_card = draw(cards)
+    parts = [
+        f"MINE RULE {out} AS",
+        f"SELECT DISTINCT {card_text(body_card)}{body_attr} AS BODY, "
+        f"{card_text(head_card)}{head_attr} AS HEAD, SUPPORT, CONFIDENCE",
+    ]
+    if draw(st.booleans()):
+        parts.append(f"WHERE BODY.{body_attr} <> HEAD.{head_attr}")
+    source = draw(identifiers)
+    source_cond = draw(st.booleans())
+    parts.append(
+        f"FROM {source}"
+        + (f" WHERE {group_attr} IS NOT NULL" if source_cond else "")
+    )
+    group_having = draw(st.booleans())
+    parts.append(
+        f"GROUP BY {group_attr}"
+        + (" HAVING COUNT(*) >= 2" if group_having else "")
+    )
+    if cluster_attr is not None:
+        cluster_having = draw(st.booleans())
+        parts.append(
+            f"CLUSTER BY {cluster_attr}"
+            + (
+                f" HAVING BODY.{cluster_attr} < HEAD.{cluster_attr}"
+                if cluster_having
+                else ""
+            )
+        )
+    support = draw(thresholds)
+    confidence = draw(thresholds)
+    parts.append(
+        f"EXTRACTING RULES WITH SUPPORT: {support}, "
+        f"CONFIDENCE: {confidence}"
+    )
+    return "\n".join(parts)
+
+
+class TestRoundTrip:
+    @given(text=statements())
+    @settings(max_examples=80, deadline=None)
+    def test_render_parse_fixpoint(self, text):
+        first = parse_mine_rule(text)
+        rendered = render_mine_rule(first)
+        second = parse_mine_rule(rendered)
+        assert render_mine_rule(second) == rendered
+
+    @given(text=statements())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_preserves_structure(self, text):
+        first = parse_mine_rule(text)
+        second = parse_mine_rule(render_mine_rule(first))
+        assert second.output_table == first.output_table
+        assert second.body == first.body
+        assert second.head == first.head
+        assert second.group_attributes == first.group_attributes
+        assert second.cluster_attributes == first.cluster_attributes
+        assert second.min_support == first.min_support
+        assert second.min_confidence == first.min_confidence
+        assert classify(second) == classify(first)

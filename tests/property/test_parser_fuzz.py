@@ -1,0 +1,101 @@
+"""Fuzzing the parsers: malformed input must fail cleanly.
+
+Whatever bytes arrive, the SQL and MINE RULE parsers must either parse
+or raise their declared error types — never crash with an arbitrary
+exception, never hang.  Mutations of valid statements probe the error
+paths near the grammar's surface.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minerule import MineRuleParseError, parse_mine_rule
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.parser import parse_sql
+
+VALID_SQL = (
+    "SELECT DISTINCT V.Gid, B.Bid FROM Source S, ValidGroups V, Bset B "
+    "WHERE S.customer = V.customer AND S.item = B.item"
+)
+
+VALID_MINE = (
+    "MINE RULE Out AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS "
+    "HEAD, SUPPORT, CONFIDENCE WHERE BODY.price >= 100 FROM Purchase "
+    "GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date "
+    "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3"
+)
+
+
+def mutate(text: str, position: int, mutation: str, insert: bool) -> str:
+    position %= max(1, len(text))
+    if insert:
+        return text[:position] + mutation + text[position:]
+    return text[:position] + mutation + text[position + len(mutation):]
+
+
+class TestSqlFuzz:
+    @given(text=st.text(max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_sql(text)
+        except SqlParseError:
+            pass
+
+    @given(
+        position=st.integers(min_value=0, max_value=10_000),
+        mutation=st.sampled_from(
+            [")", "(", ",", "'", "SELECT", "..", ":", "*", ";", "=",
+             "WHERE", ""]
+        ),
+        insert=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_mutated_statement_fails_cleanly(self, position, mutation,
+                                             insert):
+        mutated = mutate(VALID_SQL, position, mutation, insert)
+        try:
+            parse_sql(mutated)
+        except SqlParseError:
+            pass
+
+    @given(depth=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_unbalanced_parens_rejected(self, depth):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT " + "(" * depth + "1")
+
+
+class TestMineRuleFuzz:
+    @given(text=st.text(max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_mine_rule(text)
+        except MineRuleParseError:
+            pass
+
+    @given(
+        position=st.integers(min_value=0, max_value=10_000),
+        mutation=st.sampled_from(
+            ["BODY", "HEAD", "..", "MINE", "GROUP", ",", "(", "'", ":",
+             "0.5", ""]
+        ),
+        insert=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_mutated_statement_fails_cleanly(self, position, mutation,
+                                             insert):
+        mutated = mutate(VALID_MINE, position, mutation, insert)
+        try:
+            parse_mine_rule(mutated)
+        except MineRuleParseError:
+            pass
+
+    @given(text=st.text(alphabet="MINERUL .;:()'\n", max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_keyword_soup_rejected_cleanly(self, text):
+        try:
+            parse_mine_rule(text)
+        except MineRuleParseError:
+            pass

@@ -1,0 +1,229 @@
+"""Property-based tests of MINE RULE end-to-end invariants.
+
+Random basket databases are loaded into the engine and mined through
+the full pipeline; the resulting rules must satisfy the operator's
+semantic invariants, and the simple and general core variants must
+agree on statements both can express.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, MiningSystem
+from repro.sqlengine.types import SqlType
+
+#: random group -> items maps; item names keep SQL quoting trivial
+baskets = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=12),
+    values=st.frozensets(
+        st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=5
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+supports = st.sampled_from([0.1, 0.25, 0.5, 0.75])
+confidences = st.sampled_from([0.0, 0.3, 0.6, 1.0])
+
+
+def load(groups):
+    db = Database()
+    db.create_table_from_rows(
+        "Baskets",
+        ("grp", "item"),
+        [(g, i) for g, items in sorted(groups.items()) for i in sorted(items)],
+        (SqlType.INTEGER, SqlType.VARCHAR),
+    )
+    return db
+
+
+def statement(min_support, min_confidence, head="1..1", out="R"):
+    return (
+        f"MINE RULE {out} AS SELECT DISTINCT 1..n item AS BODY, "
+        f"{head} item AS HEAD, SUPPORT, CONFIDENCE FROM Baskets "
+        f"GROUP BY grp EXTRACTING RULES WITH SUPPORT: {min_support}, "
+        f"CONFIDENCE: {min_confidence}"
+    )
+
+
+class TestSemanticInvariants:
+    @given(groups=baskets, min_support=supports, min_confidence=confidences)
+    @settings(max_examples=30, deadline=None)
+    def test_rules_match_direct_recount(
+        self, groups, min_support, min_confidence
+    ):
+        """Support/confidence of every emitted rule recomputed from the
+        raw groups must match exactly, and no qualifying rule may be
+        missing (for 1..1 heads over frequent pairs)."""
+        system = MiningSystem(database=load(groups))
+        result = system.execute(statement(min_support, min_confidence))
+        totg = len(groups)
+
+        for rule in result.rules:
+            both = rule.body | rule.head
+            support_count = sum(
+                1 for items in groups.values() if both <= items
+            )
+            body_count = sum(
+                1 for items in groups.values() if rule.body <= items
+            )
+            assert rule.support * totg == support_count
+            assert math.isclose(
+                rule.confidence, support_count / body_count
+            )
+            assert rule.support >= min_support - 1e-9
+            assert rule.confidence >= min_confidence - 1e-9
+            assert not rule.body & rule.head
+
+    @given(groups=baskets, min_support=supports)
+    @settings(max_examples=30, deadline=None)
+    def test_no_qualifying_pair_rule_missing(self, groups, min_support):
+        system = MiningSystem(database=load(groups))
+        result = system.execute(statement(min_support, 0.0))
+        emitted = {
+            (next(iter(r.body)), next(iter(r.head)))
+            for r in result.rules
+            if len(r.body) == 1
+        }
+        totg = len(groups)
+        threshold = max(1, math.ceil(min_support * totg - 1e-9))
+        items = {i for s in groups.values() for i in s}
+        for body in items:
+            for head in items:
+                if body == head:
+                    continue
+                count = sum(
+                    1
+                    for s in groups.values()
+                    if body in s and head in s
+                )
+                if count >= threshold:
+                    assert (body, head) in emitted
+
+    @given(groups=baskets, min_support=supports, min_confidence=confidences)
+    @settings(max_examples=20, deadline=None)
+    def test_simple_and_general_cores_agree(
+        self, groups, min_support, min_confidence
+    ):
+        """A tautological mining condition routes the same statement
+        through the general core; results must be identical."""
+        db = load(groups)
+        db.execute("UPDATE Baskets SET grp = grp")  # no-op sanity
+        simple = MiningSystem(database=db).execute(
+            statement(min_support, min_confidence, out="S")
+        )
+        general_text = statement(
+            min_support, min_confidence, out="G"
+        ).replace(
+            "FROM Baskets",
+            "WHERE BODY.item <> HEAD.item FROM Baskets",
+        )
+        general = MiningSystem(database=db).execute(general_text)
+        assert simple.directives.simple
+        assert general.directives.general
+        assert simple.rule_set() == general.rule_set()
+
+    @given(groups=baskets, min_support=supports)
+    @settings(max_examples=20, deadline=None)
+    def test_wider_heads_superset_of_pairs(self, groups, min_support):
+        """With 1..n heads every 1..1-head rule still appears."""
+        db = load(groups)
+        narrow = MiningSystem(database=db).execute(
+            statement(min_support, 0.0, head="1..1", out="N")
+        )
+        wide = MiningSystem(database=db).execute(
+            statement(min_support, 0.0, head="1..n", out="W")
+        )
+        assert narrow.rule_set() <= wide.rule_set()
+
+    @given(groups=baskets)
+    @settings(max_examples=20, deadline=None)
+    def test_support_threshold_monotone(self, groups):
+        db = load(groups)
+        loose = MiningSystem(database=db).execute(statement(0.1, 0.0,
+                                                            out="L"))
+        tight = MiningSystem(database=db).execute(statement(0.75, 0.0,
+                                                            out="T"))
+        tight_keys = {(r.body, r.head) for r in tight.rules}
+        loose_keys = {(r.body, r.head) for r in loose.rules}
+        assert tight_keys <= loose_keys
+
+
+class TestClusterInvariants:
+    clustered = st.dictionaries(
+        keys=st.integers(min_value=1, max_value=6),
+        values=st.dictionaries(
+            keys=st.integers(min_value=1, max_value=3),  # cluster key
+            values=st.frozensets(
+                st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @staticmethod
+    def load_clustered(groups):
+        db = Database()
+        rows = []
+        for gid, clusters in sorted(groups.items()):
+            for ckey, items in sorted(clusters.items()):
+                for item in sorted(items):
+                    rows.append((gid, ckey, item))
+        db.create_table_from_rows(
+            "T",
+            ("grp", "ckey", "item"),
+            rows,
+            (SqlType.INTEGER, SqlType.INTEGER, SqlType.VARCHAR),
+        )
+        return db
+
+    @given(groups=clustered, min_support=supports)
+    @settings(max_examples=20, deadline=None)
+    def test_ordered_clusters_subset_of_unordered(self, groups, min_support):
+        db = self.load_clustered(groups)
+        base = (
+            "MINE RULE {out} AS SELECT DISTINCT 1..1 item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY grp "
+            "CLUSTER BY ckey {having} "
+            f"EXTRACTING RULES WITH SUPPORT: {min_support}, CONFIDENCE: 0.0"
+        )
+        unordered = MiningSystem(database=db).execute(
+            base.format(out="U", having="")
+        )
+        ordered = MiningSystem(database=db).execute(
+            base.format(out="O", having="HAVING BODY.ckey < HEAD.ckey")
+        )
+        ordered_keys = {(r.body, r.head) for r in ordered.rules}
+        unordered_keys = {(r.body, r.head) for r in unordered.rules}
+        assert ordered_keys <= unordered_keys
+
+    @given(groups=clustered, min_support=supports)
+    @settings(max_examples=20, deadline=None)
+    def test_cluster_rule_support_recount(self, groups, min_support):
+        """Recompute clustered-rule support directly from the data."""
+        db = self.load_clustered(groups)
+        result = MiningSystem(database=db).execute(
+            "MINE RULE O AS SELECT DISTINCT 1..1 item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM T GROUP BY grp "
+            "CLUSTER BY ckey HAVING BODY.ckey < HEAD.ckey "
+            f"EXTRACTING RULES WITH SUPPORT: {min_support}, CONFIDENCE: 0.0"
+        )
+        totg = len(groups)
+        for rule in result.rules:
+            body = next(iter(rule.body))
+            head = next(iter(rule.head))
+            expected = sum(
+                1
+                for clusters in groups.values()
+                if any(
+                    body in b_items and head in h_items
+                    for bk, b_items in clusters.items()
+                    for hk, h_items in clusters.items()
+                    if bk < hk
+                )
+            )
+            assert rule.support * totg == expected

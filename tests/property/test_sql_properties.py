@@ -1,0 +1,162 @@
+"""Property-based tests of the SQL engine against Python oracles."""
+
+import collections
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Database
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from(["red", "green", "blue", None]),
+    ),
+    max_size=40,
+)
+
+bounds = st.tuples(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+
+
+def make_db(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, k INTEGER, c VARCHAR)")
+    table = db.table("t")
+    for row in rows:
+        table.insert(row)
+    return db
+
+
+class TestFilterOracle:
+    @given(rows=rows_strategy, bound=st.integers(-50, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_where_matches_python_filter(self, rows, bound):
+        db = make_db(rows)
+        got = db.query(f"SELECT a FROM t WHERE a > {bound}")
+        expected = [(a,) for a, _, _ in rows if a > bound]
+        assert got == expected
+
+    @given(rows=rows_strategy, bound=bounds)
+    @settings(max_examples=50, deadline=None)
+    def test_between_matches_python(self, rows, bound):
+        low, high = min(bound), max(bound)
+        db = make_db(rows)
+        got = db.query(f"SELECT a FROM t WHERE a BETWEEN {low} AND {high}")
+        expected = [(a,) for a, _, _ in rows if low <= a <= high]
+        assert got == expected
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_null_aware_equality(self, rows):
+        db = make_db(rows)
+        got = db.query("SELECT a FROM t WHERE c = 'red'")
+        expected = [(a,) for a, _, c in rows if c == "red"]
+        assert got == expected
+
+
+class TestAggregationOracle:
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_count_star(self, rows):
+        db = make_db(rows)
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_counts_match_counter(self, rows):
+        db = make_db(rows)
+        got = dict(db.query("SELECT k, COUNT(*) FROM t GROUP BY k"))
+        expected = collections.Counter(k for _, k, _ in rows)
+        assert got == dict(expected)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_per_group(self, rows):
+        db = make_db(rows)
+        got = dict(db.query("SELECT k, SUM(a) FROM t GROUP BY k"))
+        expected = {}
+        for a, k, _ in rows:
+            expected[k] = expected.get(k, 0) + a
+        assert got == expected
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_count_distinct(self, rows):
+        db = make_db(rows)
+        got = db.execute("SELECT COUNT(DISTINCT k) FROM t").scalar()
+        assert got == len({k for _, k, _ in rows})
+
+
+class TestDistinctOrderOracle:
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_matches_set(self, rows):
+        db = make_db(rows)
+        got = db.query("SELECT DISTINCT a, k FROM t")
+        assert len(got) == len(set(got))
+        assert set(got) == {(a, k) for a, k, _ in rows}
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_matches_sorted(self, rows):
+        db = make_db(rows)
+        got = [a for (a,) in db.query("SELECT a FROM t ORDER BY a")]
+        assert got == sorted(a for a, _, _ in rows)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_order_desc_is_reverse(self, rows):
+        db = make_db(rows)
+        asc = db.query("SELECT a FROM t ORDER BY a")
+        desc = db.query("SELECT a FROM t ORDER BY a DESC")
+        assert [a for (a,) in desc] == sorted(
+            (a for (a,) in asc), reverse=True
+        )
+
+
+class TestJoinOracle:
+    @given(
+        left=st.lists(st.integers(0, 8), max_size=15),
+        right=st.lists(st.integers(0, 8), max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equijoin_cardinality(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE l (x INTEGER)")
+        db.execute("CREATE TABLE r (x INTEGER)")
+        for v in left:
+            db.table("l").insert((v,))
+        for v in right:
+            db.table("r").insert((v,))
+        got = db.execute(
+            "SELECT COUNT(*) FROM l, r WHERE l.x = r.x"
+        ).scalar()
+        right_counts = collections.Counter(right)
+        expected = sum(right_counts[v] for v in left)
+        assert got == expected
+
+    @given(
+        left=st.lists(st.integers(0, 5), max_size=10, unique=True),
+        right=st.lists(st.integers(0, 5), max_size=10, unique=True),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_set_operations_match_python_sets(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE l (x INTEGER)")
+        db.execute("CREATE TABLE r (x INTEGER)")
+        for v in left:
+            db.table("l").insert((v,))
+        for v in right:
+            db.table("r").insert((v,))
+        union = {x for (x,) in db.query(
+            "SELECT x FROM l UNION SELECT x FROM r")}
+        inter = {x for (x,) in db.query(
+            "SELECT x FROM l INTERSECT SELECT x FROM r")}
+        diff = {x for (x,) in db.query(
+            "SELECT x FROM l EXCEPT SELECT x FROM r")}
+        assert union == set(left) | set(right)
+        assert inter == set(left) & set(right)
+        assert diff == set(left) - set(right)

@@ -1,0 +1,215 @@
+"""Workload generator tests."""
+
+import datetime
+
+import pytest
+
+from repro.datagen import (
+    QuestParameters,
+    figure1_rows,
+    generate_quest,
+    load_clickstream,
+    load_purchase_figure1,
+    load_purchase_synthetic,
+    load_quest,
+)
+from repro.sqlengine import Database
+
+
+class TestFigure1Generator:
+    def test_eight_rows(self):
+        assert len(figure1_rows()) == 8
+
+    def test_values_match_paper(self):
+        rows = figure1_rows()
+        assert rows[0] == (
+            1, "cust1", "ski_pants", datetime.date(1995, 12, 17), 140.0, 1,
+        )
+        assert rows[-1] == (
+            4, "cust2", "jackets", datetime.date(1995, 12, 19), 300.0, 2,
+        )
+
+    def test_load_replaces_existing(self, db):
+        load_purchase_figure1(db)
+        load_purchase_figure1(db)
+        assert len(db.table("Purchase")) == 8
+
+
+class TestSyntheticPurchase:
+    def test_row_shape(self, db):
+        table = load_purchase_synthetic(db, customers=10, seed=1)
+        assert table.columns == (
+            "tr", "customer", "item", "date", "price", "qty",
+        )
+        assert len(table) > 10
+
+    def test_deterministic_per_seed(self, db):
+        a = load_purchase_synthetic(db, customers=5, seed=2,
+                                    table_name="A").rows
+        b = load_purchase_synthetic(db, customers=5, seed=2,
+                                    table_name="B").rows
+        assert a == b
+
+    def test_different_seeds_differ(self, db):
+        a = load_purchase_synthetic(db, customers=5, seed=2,
+                                    table_name="A").rows
+        b = load_purchase_synthetic(db, customers=5, seed=3,
+                                    table_name="B").rows
+        assert a != b
+
+    def test_prices_are_stable_per_item(self, db):
+        load_purchase_synthetic(db, customers=20, seed=4)
+        rows = db.query("SELECT item, COUNT(DISTINCT price) FROM Purchase "
+                        "GROUP BY item")
+        assert all(count == 1 for _, count in rows)
+
+    def test_customer_count_respected(self, db):
+        load_purchase_synthetic(db, customers=7, seed=5)
+        count = db.execute(
+            "SELECT COUNT(*) FROM (SELECT DISTINCT customer FROM Purchase)"
+        ).scalar()
+        assert count == 7
+
+    def test_dates_within_range(self, db):
+        start = datetime.date(1995, 6, 1)
+        load_purchase_synthetic(db, customers=5, days=3, seed=6,
+                                start_date=start)
+        dates = {d for (d,) in db.query("SELECT DISTINCT date FROM Purchase")}
+        assert all(start <= d < start + datetime.timedelta(days=3)
+                   for d in dates)
+
+
+class TestQuestGenerator:
+    def test_transaction_count(self):
+        baskets = generate_quest(QuestParameters(transactions=50, seed=1))
+        assert len(baskets) == 50
+
+    def test_deterministic(self):
+        params = QuestParameters(transactions=30, seed=9)
+        assert generate_quest(params) == generate_quest(params)
+
+    def test_item_ids_within_range(self):
+        params = QuestParameters(transactions=40, items=25, seed=2)
+        baskets = generate_quest(params)
+        assert all(
+            0 <= item < 25 for basket in baskets.values() for item in basket
+        )
+
+    def test_no_empty_baskets(self):
+        baskets = generate_quest(QuestParameters(transactions=60, seed=3))
+        assert all(basket for basket in baskets.values())
+
+    def test_average_size_tracks_parameter(self):
+        params = QuestParameters(
+            transactions=400, avg_transaction_size=8.0, seed=4
+        )
+        baskets = generate_quest(params)
+        average = sum(len(b) for b in baskets.values()) / len(baskets)
+        assert 4.0 < average < 14.0
+
+    def test_name_label(self):
+        assert (
+            QuestParameters(
+                transactions=1000, avg_transaction_size=10,
+                avg_pattern_size=4,
+            ).name()
+            == "T10.I4.D1000"
+        )
+
+    def test_load_quest_table(self, db):
+        load_quest(db, QuestParameters(transactions=20, seed=5))
+        assert db.table("Baskets").columns == ("tid", "item")
+        tids = db.execute(
+            "SELECT COUNT(*) FROM (SELECT DISTINCT tid FROM Baskets)"
+        ).scalar()
+        assert tids == 20
+
+
+class TestClickstream:
+    def test_schema(self, db):
+        table = load_clickstream(db, users=5, seed=1)
+        assert table.columns == (
+            "session", "usr", "page", "section", "minute", "dwell",
+        )
+
+    def test_user_count(self, db):
+        load_clickstream(db, users=6, seed=2)
+        users = db.execute(
+            "SELECT COUNT(*) FROM (SELECT DISTINCT usr FROM Clicks)"
+        ).scalar()
+        assert users == 6
+
+    def test_sessions_start_at_home(self, db):
+        load_clickstream(db, users=4, seed=3)
+        firsts = db.query(
+            "SELECT section FROM Clicks WHERE minute = 0"
+        )
+        assert all(section == "home" for (section,) in firsts)
+
+    def test_minutes_increase_within_session(self, db):
+        load_clickstream(db, users=3, seed=4)
+        rows = db.query("SELECT session, minute FROM Clicks")
+        by_session = {}
+        for session, minute in rows:
+            by_session.setdefault(session, []).append(minute)
+        for minutes in by_session.values():
+            assert minutes == sorted(minutes)
+
+    def test_page_names_match_sections(self, db):
+        load_clickstream(db, users=3, seed=5)
+        for page, section in db.query(
+            "SELECT DISTINCT page, section FROM Clicks"
+        ):
+            assert page.startswith(section + "_")
+
+
+class TestTelecom:
+    def test_schema(self, db):
+        from repro.datagen import load_telecom
+
+        table = load_telecom(db, subscribers=10, days=2, seed=1)
+        assert table.columns == (
+            "caller", "callee", "cdate", "hour", "duration", "cost",
+            "calltype",
+        )
+
+    def test_deterministic(self, db):
+        from repro.datagen import load_telecom
+
+        a = load_telecom(db, subscribers=8, seed=2, table_name="A").rows
+        b = load_telecom(db, subscribers=8, seed=2, table_name="B").rows
+        assert a == b
+
+    def test_premium_calls_target_services(self, db):
+        from repro.datagen import load_telecom
+
+        load_telecom(db, subscribers=20, days=5, seed=3,
+                     premium_fraction=0.3)
+        rows = db.query(
+            "SELECT DISTINCT callee FROM Calls WHERE calltype = 'premium'"
+        )
+        assert rows
+        assert all(callee.startswith("svc") for (callee,) in rows)
+
+    def test_cost_consistent_with_duration_and_type(self, db):
+        from repro.datagen import load_telecom
+        from repro.datagen.telecom import _RATES
+
+        load_telecom(db, subscribers=10, days=3, seed=4)
+        for duration, cost, calltype in db.query(
+            "SELECT duration, cost, calltype FROM Calls"
+        ):
+            assert cost == round(duration * _RATES[calltype], 2)
+
+    def test_social_circles_overlap(self, db):
+        from repro.datagen import load_telecom
+
+        load_telecom(db, subscribers=30, days=7, seed=5)
+        # some callee must be shared by several callers (the overlap
+        # that makes circle rules minable)
+        rows = db.query(
+            "SELECT callee, COUNT(DISTINCT caller) AS n FROM Calls "
+            "WHERE calltype <> 'premium' GROUP BY callee "
+            "HAVING COUNT(DISTINCT caller) >= 3"
+        )
+        assert rows

@@ -1,0 +1,72 @@
+"""Date-part function tests (and their use in MINE RULE clauses)."""
+
+import pytest
+
+from repro import MiningSystem
+from repro.datagen import load_purchase_figure1
+from repro.sqlengine import Database
+from repro.sqlengine.errors import SqlTypeError
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+class TestDateParts:
+    def test_year_month_day(self, db):
+        row = db.query(
+            "SELECT YEAR(DATE '1995-12-17'), MONTH(DATE '1995-12-17'), "
+            "DAY(DATE '1995-12-17')"
+        )[0]
+        assert row == (1995, 12, 17)
+
+    def test_weekday(self, db):
+        # 1995-12-17 was a Sunday (weekday 6)
+        assert db.execute("SELECT WEEKDAY(DATE '1995-12-17')").scalar() == 6
+
+    def test_null_propagates(self, db):
+        assert db.execute("SELECT YEAR(NULL)").scalar() is None
+
+    def test_non_date_rejected(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("SELECT YEAR(5)")
+
+    def test_over_column(self):
+        database = Database()
+        load_purchase_figure1(database)
+        rows = database.query(
+            "SELECT DISTINCT DAY(date) FROM Purchase ORDER BY 1"
+        )
+        assert rows == [(17,), (18,), (19,)]
+
+    def test_in_group_by(self):
+        database = Database()
+        load_purchase_figure1(database)
+        rows = database.query(
+            "SELECT DAY(date), COUNT(*) FROM Purchase GROUP BY DAY(date) "
+            "ORDER BY 1"
+        )
+        assert rows == [(17, 2), (18, 4), (19, 2)]
+
+
+class TestDatePartsInMineRule:
+    def test_cluster_condition_with_date_arithmetic(self):
+        """Consecutive-day sequences: head exactly one day after body."""
+        system = MiningSystem()
+        load_purchase_figure1(system.db)
+        result = system.execute(
+            "MINE RULE NextDay AS SELECT DISTINCT 1..1 item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM Purchase "
+            "GROUP BY customer "
+            "CLUSTER BY date HAVING HEAD.date - BODY.date = 1 "
+            "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1"
+        )
+        keys = {
+            (next(iter(r.body)), next(iter(r.head))) for r in result.rules
+        }
+        # cust1: 12/17 -> 12/18, cust2: 12/18 -> 12/19
+        assert ("ski_pants", "jackets") in keys
+        assert ("brown_boots", "col_shirts") in keys
+        # two days apart: must be absent
+        assert ("ski_pants", "col_shirts") not in keys

@@ -1,0 +1,158 @@
+"""DB-API 2.0 adapter tests."""
+
+import pytest
+
+from repro.sqlengine import Database, dbapi
+
+
+@pytest.fixture
+def conn():
+    connection = dbapi.connect()
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+    cur.executemany(
+        "INSERT INTO t VALUES (:a, :b)",
+        [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}, {"a": 3, "b": "z"}],
+    )
+    return connection
+
+
+class TestModuleGlobals:
+    def test_required_globals(self):
+        assert dbapi.apilevel == "2.0"
+        assert dbapi.paramstyle == "named"
+        assert dbapi.threadsafety in (0, 1, 2, 3)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(dbapi.DatabaseError, dbapi.Error)
+        assert issubclass(dbapi.NotSupportedError, dbapi.DatabaseError)
+        assert issubclass(dbapi.InterfaceError, dbapi.Error)
+
+
+class TestCursor:
+    def test_fetchone(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert cur.fetchone() == (1,)
+        assert cur.fetchone() == (2,)
+
+    def test_fetchone_exhausted_returns_none(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t WHERE a = 1")
+        cur.fetchone()
+        assert cur.fetchone() is None
+
+    def test_fetchall(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert cur.fetchall() == [(1,), (2,), (3,)]
+        assert cur.fetchall() == []  # consumed
+
+    def test_fetchmany(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert cur.fetchmany(2) == [(1,), (2,)]
+        assert cur.fetchmany(2) == [(3,)]
+
+    def test_fetchmany_default_arraysize(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t")
+        assert len(cur.fetchmany()) == 1
+
+    def test_iteration(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM t ORDER BY a")
+        assert [row for row in cur] == [(1,), (2,), (3,)]
+
+    def test_description(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT a AS alpha, b FROM t")
+        names = [entry[0] for entry in cur.description]
+        assert names == ["alpha", "b"]
+
+    def test_description_none_for_ddl(self, conn):
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE u (x INTEGER)")
+        assert cur.description is None
+
+    def test_rowcount_for_dml(self, conn):
+        cur = conn.cursor()
+        cur.execute("UPDATE t SET b = 'w' WHERE a >= 2")
+        assert cur.rowcount == 2
+
+    def test_rowcount_before_execute(self, conn):
+        assert conn.cursor().rowcount == -1
+
+    def test_parameters(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT b FROM t WHERE a = :k", {"k": 2})
+        assert cur.fetchall() == [("y",)]
+
+    def test_execute_returns_cursor_for_chaining(self, conn):
+        rows = conn.cursor().execute("SELECT a FROM t").fetchall()
+        assert len(rows) == 3
+
+    def test_engine_errors_wrapped(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(dbapi.DatabaseError):
+            cur.execute("SELECT nope FROM t")
+
+    def test_fetch_without_execute_rejected(self, conn):
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor().fetchall()
+
+    def test_closed_cursor_rejected(self, conn):
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.execute("SELECT 1")
+
+    def test_cursor_context_manager(self, conn):
+        with conn.cursor() as cur:
+            cur.execute("SELECT 1")
+        with pytest.raises(dbapi.InterfaceError):
+            cur.fetchall()
+
+    def test_setinputsizes_noop(self, conn):
+        conn.cursor().setinputsizes([1, 2])
+
+
+class TestConnection:
+    def test_commit_noop(self, conn):
+        conn.commit()
+
+    def test_rollback_not_supported(self, conn):
+        with pytest.raises(dbapi.NotSupportedError):
+            conn.rollback()
+
+    def test_close_prevents_use(self, conn):
+        conn.close()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor()
+
+    def test_context_manager_closes(self):
+        with dbapi.connect() as connection:
+            connection.cursor().execute("SELECT 1")
+        with pytest.raises(dbapi.InterfaceError):
+            connection.cursor()
+
+    def test_shares_database_with_mining_system(self):
+        from repro import MiningSystem
+        from repro.datagen import load_purchase_figure1
+
+        db = Database()
+        load_purchase_figure1(db)
+        system = MiningSystem(database=db)
+        system.execute(
+            "MINE RULE Shared AS SELECT DISTINCT 1..n item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM Purchase "
+            "GROUP BY customer "
+            "EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.9"
+        )
+        conn = dbapi.connect(db)
+        count = (
+            conn.cursor()
+            .execute("SELECT COUNT(*) FROM Shared")
+            .fetchone()[0]
+        )
+        assert count > 0

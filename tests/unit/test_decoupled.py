@@ -1,0 +1,142 @@
+"""Decoupled-architecture baseline tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.decoupled import (
+    DecoupledWorkflow,
+    FlatFileEncoder,
+    FlatFileExtractor,
+    StandaloneMiner,
+)
+from repro.decoupled.extractor import parse_flat_file
+from repro.datagen import load_purchase_figure1
+
+
+@pytest.fixture
+def flat_file(purchase_db, tmp_path):
+    path = tmp_path / "purchase.tsv"
+    FlatFileExtractor(purchase_db).extract(
+        "SELECT customer, item FROM Purchase", path
+    )
+    return path
+
+
+class TestExtractor:
+    def test_extract_writes_header_and_rows(self, flat_file):
+        header, rows = parse_flat_file(flat_file)
+        assert header == ["customer", "item"]
+        assert len(rows) == 8
+
+    def test_null_serialization(self, purchase_db, tmp_path):
+        purchase_db.execute("CREATE TABLE n (a INTEGER, b VARCHAR)")
+        purchase_db.execute("INSERT INTO n VALUES (NULL, 'x')")
+        path = tmp_path / "n.tsv"
+        FlatFileExtractor(purchase_db).extract("SELECT a, b FROM n", path)
+        _, rows = parse_flat_file(path)
+        assert rows == [["\\N", "x"]]
+
+    def test_dates_serialized_iso(self, purchase_db, tmp_path):
+        path = tmp_path / "d.tsv"
+        FlatFileExtractor(purchase_db).extract(
+            "SELECT date FROM Purchase WHERE tr = 1", path
+        )
+        _, rows = parse_flat_file(path)
+        assert rows[0] == ["1995-12-17"]
+
+
+class TestEncoder:
+    def test_encode_builds_dictionaries(self, flat_file):
+        dataset = FlatFileEncoder().encode(flat_file, "customer", "item")
+        assert dataset.group_count == 2
+        assert len(dataset.item_labels) == 5
+        labels = set(dataset.item_labels.values())
+        assert "jackets" in labels
+
+    def test_groups_hold_item_ids(self, flat_file):
+        dataset = FlatFileEncoder().encode(flat_file, "customer", "item")
+        for items in dataset.groups.values():
+            assert all(isinstance(i, int) for i in items)
+
+    def test_missing_column_rejected(self, flat_file):
+        with pytest.raises(ValueError):
+            FlatFileEncoder().encode(flat_file, "customer", "sku")
+
+
+class TestStandaloneMiner:
+    def test_mines_rules(self, flat_file):
+        dataset = FlatFileEncoder().encode(flat_file, "customer", "item")
+        miner = StandaloneMiner()
+        rules = miner.mine(dataset, min_support=0.5, min_confidence=0.5)
+        keys = {(frozenset(r.body), frozenset(r.head)) for r in rules}
+        assert (frozenset({"brown_boots"}), frozenset({"jackets"})) in keys
+
+    def test_rules_live_in_the_tool(self, flat_file, purchase_db):
+        dataset = FlatFileEncoder().encode(flat_file, "customer", "item")
+        miner = StandaloneMiner()
+        miner.mine(dataset, 0.5, 0.5)
+        assert miner.rules  # in tool memory...
+        assert not purchase_db.catalog.has_table("rules")  # ...not in the DB
+
+    def test_export(self, flat_file, tmp_path):
+        dataset = FlatFileEncoder().encode(flat_file, "customer", "item")
+        miner = StandaloneMiner()
+        miner.mine(dataset, 0.5, 0.5)
+        out = tmp_path / "rules.tsv"
+        count = miner.export(out)
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == count + 1  # header
+
+    def test_empty_dataset(self):
+        from repro.decoupled.encoder import EncodedDataset
+
+        miner = StandaloneMiner()
+        empty = EncodedDataset(groups={}, group_labels={}, item_labels={})
+        assert miner.mine(empty, 0.5, 0.5) == []
+
+
+class TestWorkflow:
+    def test_end_to_end(self, purchase_db, tmp_path):
+        workflow = DecoupledWorkflow(purchase_db)
+        report = workflow.run(
+            "SELECT customer, item FROM Purchase",
+            "customer",
+            "item",
+            0.5,
+            0.5,
+            workdir=tmp_path,
+        )
+        assert report.extracted_rows == 8
+        assert report.rules
+        assert set(report.timings) == {"extract", "prepare", "mine", "export"}
+        assert report.flat_file.exists()
+        assert report.export_file.exists()
+        assert report.total_seconds > 0
+
+    def test_matches_tight_architecture(self, purchase_db, tmp_path):
+        from repro import MiningSystem
+
+        tight = MiningSystem(database=purchase_db).execute(
+            "MINE RULE T AS SELECT DISTINCT 1..n item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM Purchase "
+            "GROUP BY customer "
+            "EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5"
+        )
+        report = DecoupledWorkflow(purchase_db).run(
+            "SELECT customer, item FROM Purchase",
+            "customer",
+            "item",
+            0.5,
+            0.5,
+            workdir=tmp_path,
+        )
+        tight_set = {
+            (r.body, r.head, round(r.support, 9), round(r.confidence, 9))
+            for r in tight.rules
+        }
+        loose_set = {
+            (r.body, r.head, round(r.support, 9), round(r.confidence, 9))
+            for r in report.rules
+        }
+        assert tight_set == loose_set

@@ -1,0 +1,437 @@
+"""Query execution tests: the SQL engine's SELECT behaviour."""
+
+import datetime
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import CatalogError, ExecutionError, SqlTypeError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE nums (a INTEGER, b INTEGER)")
+    for a, b in [(1, 10), (2, 20), (3, 30), (4, 40)]:
+        database.execute(f"INSERT INTO nums VALUES ({a}, {b})")
+    return database
+
+
+@pytest.fixture
+def people():
+    database = Database()
+    database.execute(
+        "CREATE TABLE people (name VARCHAR, city VARCHAR, age INTEGER)"
+    )
+    rows = [
+        ("ann", "turin", 30),
+        ("bob", "milan", 25),
+        ("cal", "turin", 35),
+        ("dee", "milan", 25),
+        ("eve", "rome", None),
+    ]
+    for name, city, age in rows:
+        database.execute(
+            "INSERT INTO people VALUES (:n, :c, :a)",
+            {"n": name, "c": city, "a": age},
+        )
+    return database
+
+
+class TestProjectionAndFilter:
+    def test_projection(self, db):
+        assert db.query("SELECT a FROM nums") == [(1,), (2,), (3,), (4,)]
+
+    def test_expression_projection(self, db):
+        assert db.query("SELECT a + b FROM nums WHERE a = 1") == [(11,)]
+
+    def test_where_filter(self, db):
+        assert db.query("SELECT a FROM nums WHERE b >= 30") == [(3,), (4,)]
+
+    def test_where_combines_and_or(self, db):
+        rows = db.query("SELECT a FROM nums WHERE a = 1 OR a = 3 AND b = 30")
+        assert rows == [(1,), (3,)]
+
+    def test_between(self, db):
+        assert db.query("SELECT a FROM nums WHERE b BETWEEN 20 AND 30") == [
+            (2,),
+            (3,),
+        ]
+
+    def test_in_list(self, db):
+        assert db.query("SELECT a FROM nums WHERE a IN (2, 4)") == [(2,), (4,)]
+
+    def test_like(self, people):
+        rows = people.query("SELECT name FROM people WHERE city LIKE 't%'")
+        assert rows == [("ann",), ("cal",)]
+
+    def test_like_underscore(self, people):
+        rows = people.query("SELECT name FROM people WHERE name LIKE '_ob'")
+        assert rows == [("bob",)]
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 1 + 1") == [(2,)]
+
+    def test_select_without_from_false_where(self, db):
+        assert db.query("SELECT 1 WHERE 1 = 2") == []
+
+    def test_column_names(self, db):
+        result = db.execute("SELECT a AS first, b FROM nums LIMIT 1")
+        assert result.columns == ("first", "b")
+
+    def test_star_expansion(self, db):
+        result = db.execute("SELECT * FROM nums LIMIT 1")
+        assert result.columns == ("a", "b")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT missing FROM nums")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT 1 FROM missing")
+
+
+class TestNullSemantics:
+    def test_null_comparison_filters_out(self, people):
+        rows = people.query("SELECT name FROM people WHERE age > 0")
+        assert ("eve",) not in rows
+
+    def test_is_null(self, people):
+        assert people.query("SELECT name FROM people WHERE age IS NULL") == [
+            ("eve",)
+        ]
+
+    def test_is_not_null(self, people):
+        rows = people.query("SELECT name FROM people WHERE age IS NOT NULL")
+        assert len(rows) == 4
+
+    def test_not_of_unknown_is_unknown(self, people):
+        # NOT (NULL > 0) is UNKNOWN, so eve stays filtered out.
+        rows = people.query("SELECT name FROM people WHERE NOT (age > 0)")
+        assert rows == []
+
+    def test_null_in_arithmetic_propagates(self, people):
+        rows = people.query("SELECT age + 1 FROM people WHERE name = 'eve'")
+        assert rows == [(None,)]
+
+    def test_coalesce(self, people):
+        rows = people.query(
+            "SELECT COALESCE(age, -1) FROM people WHERE name = 'eve'"
+        )
+        assert rows == [(-1,)]
+
+    def test_nullif(self, db):
+        assert db.query("SELECT NULLIF(1, 1)") == [(None,)]
+        assert db.query("SELECT NULLIF(2, 1)") == [(2,)]
+
+    def test_null_never_equals_null(self, people):
+        rows = people.query(
+            "SELECT name FROM people WHERE age = age AND name = 'eve'"
+        )
+        assert rows == []
+
+
+class TestAggregation:
+    def test_count_star(self, people):
+        assert people.execute("SELECT COUNT(*) FROM people").scalar() == 5
+
+    def test_count_ignores_nulls(self, people):
+        assert people.execute("SELECT COUNT(age) FROM people").scalar() == 4
+
+    def test_count_distinct(self, people):
+        assert (
+            people.execute("SELECT COUNT(DISTINCT city) FROM people").scalar()
+            == 3
+        )
+
+    def test_sum_avg_min_max(self, db):
+        row = db.query("SELECT SUM(b), AVG(b), MIN(b), MAX(b) FROM nums")[0]
+        assert row == (100, 25.0, 10, 40)
+
+    def test_aggregates_on_empty_input(self, db):
+        row = db.query("SELECT COUNT(*), SUM(a), MIN(a) FROM nums WHERE a > 99")
+        assert row == [(0, None, None)]
+
+    def test_group_by(self, people):
+        rows = people.query(
+            "SELECT city, COUNT(*) FROM people GROUP BY city ORDER BY city"
+        )
+        assert rows == [("milan", 2), ("rome", 1), ("turin", 2)]
+
+    def test_group_by_having(self, people):
+        rows = people.query(
+            "SELECT city FROM people GROUP BY city HAVING COUNT(*) >= 2 "
+            "ORDER BY city"
+        )
+        assert rows == [("milan",), ("turin",)]
+
+    def test_having_with_aggregate_expression(self, db):
+        rows = db.query(
+            "SELECT a FROM nums GROUP BY a HAVING SUM(b) > 25 ORDER BY a"
+        )
+        assert rows == [(3,), (4,)]
+
+    def test_group_by_expression_key(self, db):
+        rows = db.query(
+            "SELECT a % 2, COUNT(*) FROM nums GROUP BY a % 2 ORDER BY 1"
+        )
+        assert rows == [(0, 2), (1, 2)]
+
+    def test_where_applies_before_grouping(self, people):
+        rows = people.query(
+            "SELECT city, COUNT(*) FROM people WHERE age >= 30 "
+            "GROUP BY city"
+        )
+        assert rows == [("turin", 2)]
+
+    def test_aggregate_outside_group_context_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT a FROM nums WHERE COUNT(*) > 1")
+
+
+class TestDistinctOrderLimit:
+    def test_distinct(self, people):
+        rows = people.query("SELECT DISTINCT city FROM people")
+        assert sorted(rows) == [("milan",), ("rome",), ("turin",)]
+
+    def test_distinct_multi_column(self, people):
+        rows = people.query("SELECT DISTINCT city, age FROM people")
+        assert len(rows) == 4  # milan/25 collapses
+
+    def test_order_by_column(self, people):
+        rows = people.query("SELECT name FROM people ORDER BY name DESC")
+        assert rows[0] == ("eve",)
+
+    def test_order_by_expression(self, db):
+        rows = db.query("SELECT a FROM nums ORDER BY a * -1")
+        assert [r[0] for r in rows] == [4, 3, 2, 1]
+
+    def test_order_by_position(self, db):
+        rows = db.query("SELECT b, a FROM nums ORDER BY 2 DESC")
+        assert rows[0] == (40, 4)
+
+    def test_order_by_alias(self, db):
+        rows = db.query("SELECT a * -1 AS neg FROM nums ORDER BY neg")
+        assert rows[0] == (-4,)
+
+    def test_order_nulls_last_ascending(self, people):
+        rows = people.query("SELECT age FROM people ORDER BY age")
+        assert rows[-1] == (None,)
+
+    def test_order_nulls_first_descending(self, people):
+        rows = people.query("SELECT age FROM people ORDER BY age DESC")
+        assert rows[0] == (None,)
+
+    def test_order_by_aggregate(self, people):
+        rows = people.query(
+            "SELECT city FROM people GROUP BY city ORDER BY COUNT(*) DESC, city"
+        )
+        assert rows == [("milan",), ("turin",), ("rome",)]
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT a FROM nums LIMIT 2")) == 2
+
+    def test_limit_offset(self, db):
+        assert db.query("SELECT a FROM nums ORDER BY a LIMIT 2 OFFSET 1") == [
+            (2,),
+            (3,),
+        ]
+
+
+class TestJoins:
+    @pytest.fixture
+    def joined(self):
+        database = Database()
+        database.execute("CREATE TABLE l (id INTEGER, v VARCHAR)")
+        database.execute("CREATE TABLE r (id INTEGER, w VARCHAR)")
+        for i, v in [(1, "a"), (2, "b"), (3, "c")]:
+            database.execute(f"INSERT INTO l VALUES ({i}, '{v}')")
+        for i, w in [(1, "x"), (1, "y"), (3, "z")]:
+            database.execute(f"INSERT INTO r VALUES ({i}, '{w}')")
+        return database
+
+    def test_implicit_equijoin(self, joined):
+        rows = joined.query(
+            "SELECT l.v, r.w FROM l, r WHERE l.id = r.id ORDER BY l.v, r.w"
+        )
+        assert rows == [("a", "x"), ("a", "y"), ("c", "z")]
+
+    def test_explicit_join(self, joined):
+        rows = joined.query(
+            "SELECT l.v, r.w FROM l JOIN r ON l.id = r.id ORDER BY r.w"
+        )
+        assert len(rows) == 3
+
+    def test_left_join_pads_nulls(self, joined):
+        rows = joined.query(
+            "SELECT l.v, r.w FROM l LEFT JOIN r ON l.id = r.id "
+            "ORDER BY l.v, r.w"
+        )
+        assert ("b", None) in rows
+        assert len(rows) == 4
+
+    def test_cross_join(self, joined):
+        rows = joined.query("SELECT l.id, r.id FROM l CROSS JOIN r")
+        assert len(rows) == 9
+
+    def test_theta_join(self, joined):
+        rows = joined.query(
+            "SELECT l.id, r.id FROM l, r WHERE l.id < r.id ORDER BY l.id, r.id"
+        )
+        assert rows == [(1, 3), (2, 3)]
+
+    def test_self_join_with_aliases(self, joined):
+        rows = joined.query(
+            "SELECT x.v, y.v FROM l x, l y WHERE x.id < y.id "
+            "ORDER BY x.v, y.v"
+        )
+        assert len(rows) == 3
+
+    def test_three_way_join(self, joined):
+        rows = joined.query(
+            "SELECT COUNT(*) FROM l a, l b, r c "
+            "WHERE a.id = b.id AND b.id = c.id"
+        )
+        assert rows == [(3,)]
+
+    def test_join_null_keys_never_match(self, joined):
+        joined.execute("INSERT INTO l VALUES (NULL, 'n')")
+        joined.execute("INSERT INTO r VALUES (NULL, 'n')")
+        rows = joined.query("SELECT COUNT(*) FROM l, r WHERE l.id = r.id")
+        assert rows == [(3,)]
+
+    def test_ambiguous_column_rejected(self, joined):
+        with pytest.raises(CatalogError):
+            joined.query("SELECT id FROM l, r WHERE l.id = r.id")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        rows = db.query("SELECT a FROM nums WHERE b = (SELECT MAX(b) FROM nums)")
+        assert rows == [(4,)]
+
+    def test_scalar_subquery_empty_is_null(self, db):
+        rows = db.query("SELECT (SELECT a FROM nums WHERE a > 99)")
+        assert rows == [(None,)]
+
+    def test_scalar_subquery_multiple_rows_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT (SELECT a FROM nums)")
+
+    def test_in_subquery(self, db):
+        rows = db.query(
+            "SELECT a FROM nums WHERE a IN (SELECT a FROM nums WHERE b > 25)"
+        )
+        assert rows == [(3,), (4,)]
+
+    def test_not_in_subquery(self, db):
+        rows = db.query(
+            "SELECT a FROM nums WHERE a NOT IN "
+            "(SELECT a FROM nums WHERE b > 25)"
+        )
+        assert rows == [(1,), (2,)]
+
+    def test_exists_correlated(self, db):
+        rows = db.query(
+            "SELECT a FROM nums n WHERE EXISTS "
+            "(SELECT 1 FROM nums m WHERE m.a = n.a + 1)"
+        )
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_correlated_scalar_subquery(self, db):
+        rows = db.query(
+            "SELECT (SELECT m.b FROM nums m WHERE m.a = n.a) FROM nums n "
+            "WHERE n.a <= 2"
+        )
+        assert rows == [(10,), (20,)]
+
+    def test_derived_table(self, db):
+        rows = db.query(
+            "SELECT big FROM (SELECT a AS big FROM nums WHERE a > 2) t "
+            "ORDER BY big"
+        )
+        assert rows == [(3,), (4,)]
+
+
+class TestSetOperations:
+    def test_union_dedupes(self, db):
+        rows = db.query("SELECT a FROM nums UNION SELECT a FROM nums")
+        assert len(rows) == 4
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.query("SELECT a FROM nums UNION ALL SELECT a FROM nums")
+        assert len(rows) == 8
+
+    def test_intersect(self, db):
+        rows = db.query(
+            "SELECT a FROM nums WHERE a <= 2 "
+            "INTERSECT SELECT a FROM nums WHERE a >= 2"
+        )
+        assert rows == [(2,)]
+
+    def test_except(self, db):
+        rows = db.query(
+            "SELECT a FROM nums EXCEPT SELECT a FROM nums WHERE a > 2"
+        )
+        assert sorted(rows) == [(1,), (2,)]
+
+
+class TestViewsSequencesVariables:
+    def test_view_reflects_base_table(self, db):
+        db.execute("CREATE VIEW big AS (SELECT a FROM nums WHERE a > 2)")
+        assert len(db.query("SELECT * FROM big")) == 2
+        db.execute("INSERT INTO nums VALUES (9, 90)")
+        assert len(db.query("SELECT * FROM big")) == 3
+
+    def test_view_with_alias(self, db):
+        db.execute("CREATE VIEW v AS (SELECT a AS x FROM nums)")
+        assert db.query("SELECT q.x FROM v q WHERE q.x = 1") == [(1,)]
+
+    def test_sequence_nextval_increments(self, db):
+        db.execute("CREATE SEQUENCE s")
+        values = [db.execute("SELECT s.NEXTVAL").scalar() for _ in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_sequence_in_insert_select(self, db):
+        db.execute("CREATE SEQUENCE s")
+        db.execute("INSERT INTO tagged (SELECT s.NEXTVAL AS id, a FROM nums)")
+        assert db.query("SELECT id FROM tagged") == [(1,), (2,), (3,), (4,)]
+
+    def test_select_into_binds_variable(self, db):
+        db.execute("SELECT COUNT(*) INTO :n FROM nums")
+        assert db.variables["n"] == 4
+        assert db.query("SELECT a FROM nums WHERE a = :n") == [(4,)]
+
+    def test_select_into_requires_single_row(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT a INTO :x FROM nums")
+
+    def test_explicit_params_override_variables(self, db):
+        db.variables["n"] = 1
+        rows = db.query("SELECT a FROM nums WHERE a = :n", {"n": 2})
+        assert rows == [(2,)]
+
+    def test_unbound_variable_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT :nope")
+
+
+class TestTypeErrors:
+    def test_comparing_string_with_number_rejected(self, people):
+        with pytest.raises(SqlTypeError):
+            people.query("SELECT name FROM people WHERE name > 5")
+
+    def test_arithmetic_on_strings_rejected(self, people):
+        with pytest.raises(SqlTypeError):
+            people.query("SELECT name - 1 FROM people")
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT a / 0 FROM nums")
+
+    def test_date_arithmetic(self, db):
+        days = db.execute(
+            "SELECT DATE '1995-12-19' - DATE '1995-12-17'"
+        ).scalar()
+        assert days == 2

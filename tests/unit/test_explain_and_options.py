@@ -1,0 +1,139 @@
+"""EXPLAIN output and engine-option (planner ablation) tests."""
+
+import pytest
+
+from repro.sqlengine import Database, EngineOptions
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE s (g INTEGER, item VARCHAR)")
+    database.execute("CREATE TABLE v (gid INTEGER, g INTEGER)")
+    database.execute("CREATE TABLE b (bid INTEGER, item VARCHAR)")
+    for g, item in [(1, "a"), (1, "b"), (2, "a")]:
+        database.execute(f"INSERT INTO s VALUES ({g}, '{item}')")
+    for gid, g in [(10, 1), (20, 2)]:
+        database.execute(f"INSERT INTO v VALUES ({gid}, {g})")
+    for bid, item in [(100, "a"), (200, "b")]:
+        database.execute(f"INSERT INTO b VALUES ({bid}, '{item}')")
+    return database
+
+
+Q4_SHAPE = (
+    "SELECT DISTINCT V.gid, B.bid FROM s S, v V, b B "
+    "WHERE S.g = V.g AND S.item = B.item"
+)
+
+
+class TestExplain:
+    def test_equijoins_become_hash_joins(self, db):
+        plan = db.explain(Q4_SHAPE)
+        assert plan.count("HashJoin") == 2
+        assert "NestedLoopJoin" not in plan
+        assert plan.startswith("Project [distinct]")
+
+    def test_filter_pushdown_visible(self, db):
+        plan = db.explain(
+            "SELECT S.item FROM s S, v V WHERE S.g = V.g AND V.gid > 5"
+        )
+        # the single-table conjunct sits below the join, on v's scan
+        join_pos = plan.index("HashJoin")
+        filter_pos = plan.index("Filter")
+        assert filter_pos > join_pos
+
+    def test_aggregate_and_sort_nodes(self, db):
+        plan = db.explain(
+            "SELECT item, COUNT(*) FROM s GROUP BY item "
+            "HAVING COUNT(*) > 1 ORDER BY item"
+        )
+        assert "Sort" in plan
+        assert "Aggregate keys=(item)" in plan
+        assert "having=" in plan
+
+    def test_theta_join_is_nested_loop(self, db):
+        plan = db.explain("SELECT 1 FROM s a, s b WHERE a.g < b.g")
+        assert "NestedLoopJoin" in plan
+
+    def test_view_shows_materialized(self, db):
+        db.execute("CREATE VIEW vw AS (SELECT item FROM s)")
+        plan = db.explain("SELECT * FROM vw")
+        assert "Materialized" in plan
+
+    def test_non_select_statement(self, db):
+        text = db.explain("DROP TABLE IF EXISTS zz")
+        assert "no plan" in text
+
+    def test_select_without_from(self, db):
+        assert "SingleRow" in db.explain("SELECT 1 + 1")
+
+
+class TestEngineOptions:
+    def options_db(self, **kwargs):
+        database = Database(EngineOptions(**kwargs))
+        database.execute("CREATE TABLE l (x INTEGER)")
+        database.execute("CREATE TABLE r (x INTEGER)")
+        for v in (1, 2, 3):
+            database.execute(f"INSERT INTO l VALUES ({v})")
+            database.execute(f"INSERT INTO r VALUES ({v})")
+        return database
+
+    def test_hash_joins_disabled_uses_nested_loop(self):
+        database = self.options_db(hash_joins=False)
+        plan = database.explain(
+            "SELECT 1 FROM l, r WHERE l.x = r.x"
+        )
+        assert "NestedLoopJoin" in plan
+        assert "HashJoin" not in plan
+
+    def test_results_identical_regardless_of_strategy(self):
+        fast = self.options_db()
+        slow = self.options_db(hash_joins=False, filter_pushdown=False)
+        query = "SELECT l.x FROM l, r WHERE l.x = r.x AND l.x > 1 ORDER BY 1"
+        assert fast.query(query) == slow.query(query)
+
+    def test_pushdown_disabled_keeps_filter_at_join_level(self):
+        database = self.options_db(filter_pushdown=False)
+        plan = database.explain(
+            "SELECT l.x FROM l, r WHERE l.x = r.x AND r.x > 1"
+        )
+        # the single-table conjunct is evaluated as a join residual
+        # instead of below the scan
+        assert "residual=(r.x > 1)" in plan
+        with_pushdown = self.options_db().explain(
+            "SELECT l.x FROM l, r WHERE l.x = r.x AND r.x > 1"
+        )
+        assert "Filter (r.x > 1)" in with_pushdown
+
+    def test_left_join_without_hash_joins_still_correct(self):
+        database = self.options_db(hash_joins=False)
+        database.execute("INSERT INTO l VALUES (99)")
+        rows = database.query(
+            "SELECT l.x, r.x FROM l LEFT JOIN r ON l.x = r.x ORDER BY 1"
+        )
+        assert (99, None) in rows
+
+    def test_mining_pipeline_unaffected_by_options(self):
+        from repro import MiningSystem
+        from repro.datagen import load_purchase_figure1
+
+        baseline_db = Database()
+        load_purchase_figure1(baseline_db)
+        baseline = MiningSystem(database=baseline_db).execute(STATEMENT)
+
+        slow_db = Database(EngineOptions(hash_joins=False,
+                                         filter_pushdown=False))
+        load_purchase_figure1(slow_db)
+        slow = MiningSystem(database=slow_db).execute(STATEMENT)
+        assert baseline.rule_set() == slow.rule_set()
+
+
+STATEMENT = """
+MINE RULE OptCheck AS
+SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, SUPPORT, CONFIDENCE
+WHERE BODY.price >= 100 AND HEAD.price < 100
+FROM Purchase
+GROUP BY customer
+CLUSTER BY date HAVING BODY.date < HEAD.date
+EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3
+"""

@@ -1,0 +1,150 @@
+"""Tokenizer tests."""
+
+import datetime
+
+import pytest
+
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        for variant in ("select", "SELECT", "SeLeCt"):
+            tok = tokenize(variant)[0]
+            assert tok.type is TokenType.KEYWORD
+            assert tok.text == "SELECT"
+
+    def test_identifier_preserves_case(self):
+        tok = tokenize("CodedSource")[0]
+        assert tok.type is TokenType.IDENT
+        assert tok.value == "CodedSource"
+
+    def test_integer_literal(self):
+        tok = tokenize("42")[0]
+        assert tok.type is TokenType.NUMBER
+        assert tok.value == 42
+        assert isinstance(tok.value, int)
+
+    def test_float_literal(self):
+        tok = tokenize("0.25")[0]
+        assert tok.value == 0.25
+        assert isinstance(tok.value, float)
+
+    def test_float_without_leading_zero(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_string_literal(self):
+        tok = tokenize("'hello world'")[0]
+        assert tok.type is TokenType.STRING
+        assert tok.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_eof_token_terminates(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+
+class TestDateLiterals:
+    def test_date_literal(self):
+        tok = tokenize("DATE '1995-12-17'")[0]
+        assert tok.type is TokenType.DATE
+        assert tok.value == datetime.date(1995, 12, 17)
+
+    def test_bare_date_is_keyword(self):
+        # column named "date": no string follows
+        tok = tokenize("date BETWEEN x AND y")[0]
+        assert tok.type is TokenType.KEYWORD
+        assert tok.text == "DATE"
+
+    def test_invalid_date_literal(self):
+        with pytest.raises(SqlParseError):
+            tokenize("DATE '17/12/1995'")
+
+
+class TestHostVariables:
+    def test_hostvar(self):
+        tok = tokenize(":totg")[0]
+        assert tok.type is TokenType.HOSTVAR
+        assert tok.value == "totg"
+
+    def test_hostvar_with_underscore_and_digits(self):
+        assert tokenize(":min_groups2")[0].value == "min_groups2"
+
+    def test_bare_colon_is_symbol(self):
+        toks = tokenize("SUPPORT: 0.2")
+        assert toks[0].type is TokenType.IDENT
+        assert toks[1].is_symbol(":")
+        assert toks[2].value == 0.2
+
+
+class TestSymbols:
+    def test_two_char_symbols(self):
+        assert texts("<> <= >= || ..") == ["<>", "<=", ">=", "||", ".."]
+
+    def test_bang_equals_normalized(self):
+        assert tokenize("a != b")[1].text == "<>"
+
+    def test_cardinality_range_not_a_float(self):
+        toks = tokenize("1..n")
+        assert toks[0].value == 1
+        assert toks[1].text == ".."
+        assert toks[2].value == "n"
+
+    def test_one_dot_dot_number(self):
+        toks = tokenize("1..3")
+        assert [toks[0].value, toks[1].text, toks[2].value] == [1, "..", 3]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(SqlParseError):
+            tokenize("a ~ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\n b") == [TokenType.IDENT, TokenType.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* xx\nyy */ b") == [TokenType.IDENT, TokenType.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlParseError):
+            tokenize("a /* no end")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlParseError):
+            tokenize("'no end")
+
+
+class TestLineTracking:
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_parse_error_carries_line(self):
+        with pytest.raises(SqlParseError) as excinfo:
+            tokenize("ok\n ~")
+        assert excinfo.value.line == 2
+
+
+class TestDelimitedIdentifiers:
+    def test_quoted_identifier(self):
+        tok = tokenize('"Weird Name"')[0]
+        assert tok.type is TokenType.IDENT
+        assert tok.value == "Weird Name"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlParseError):
+            tokenize('"no end')

@@ -1,0 +1,121 @@
+"""Coverage of smaller API corners: bag-semantics set operations,
+pretty-printing, catalog services, sequence reset."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import CatalogError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE l (x INTEGER)")
+    database.execute("CREATE TABLE r (x INTEGER)")
+    for v in (1, 1, 2, 3):
+        database.execute(f"INSERT INTO l VALUES ({v})")
+    for v in (1, 2, 2):
+        database.execute(f"INSERT INTO r VALUES ({v})")
+    return database
+
+
+class TestBagSetOperations:
+    def test_intersect_all_takes_min_multiplicity(self, db):
+        rows = sorted(db.query(
+            "SELECT x FROM l INTERSECT ALL SELECT x FROM r"
+        ))
+        assert rows == [(1,), (2,)]
+
+    def test_except_all_subtracts_multiplicity(self, db):
+        rows = sorted(db.query(
+            "SELECT x FROM l EXCEPT ALL SELECT x FROM r"
+        ))
+        assert rows == [(1,), (3,)]
+
+    def test_union_all_concatenates(self, db):
+        rows = db.query("SELECT x FROM l UNION ALL SELECT x FROM r")
+        assert len(rows) == 7
+
+    def test_chained_set_ops(self, db):
+        rows = db.query(
+            "SELECT x FROM l UNION SELECT x FROM r "
+            "EXCEPT SELECT x FROM r WHERE x = 2"
+        )
+        assert sorted(rows) == [(1,), (3,)]
+
+
+class TestPrettyPrinting:
+    def test_table_pretty_limit_shows_remainder(self, db):
+        text = db.table("l").pretty(limit=2)
+        assert "more rows" in text
+
+    def test_table_pretty_nulls(self, db):
+        db.execute("INSERT INTO l VALUES (NULL)")
+        assert "NULL" in db.table("l").pretty()
+
+    def test_result_pretty_empty(self, db):
+        text = db.execute("SELECT x FROM l WHERE x > 99").pretty()
+        assert "| x" in text
+
+    def test_float_formatting(self, db):
+        db.execute("CREATE TABLE f (v REAL)")
+        db.execute("INSERT INTO f VALUES (0.5)")
+        assert "| 0.5" in db.table("f").pretty()
+
+
+class TestCatalogServices:
+    def test_describe_returns_types(self, db):
+        described = db.catalog.describe("l")
+        assert described[0][0] == "x"
+
+    def test_describe_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.catalog.describe("missing")
+
+    def test_tables_and_views_listing(self, db):
+        db.execute("CREATE VIEW v AS SELECT x FROM l")
+        assert {t.name for t in db.catalog.tables()} == {"l", "r"}
+        assert [v.name for v in db.catalog.views()] == ["v"]
+
+    def test_exists_covers_tables_and_views(self, db):
+        db.execute("CREATE VIEW v AS SELECT x FROM l")
+        assert db.catalog.exists("l")
+        assert db.catalog.exists("V")
+        assert not db.catalog.exists("w")
+
+    def test_drop_view_if_exists(self, db):
+        assert db.catalog.drop_view("nope", if_exists=True) is False
+        with pytest.raises(CatalogError):
+            db.catalog.drop_view("nope")
+
+
+class TestSequenceApi:
+    def test_reset(self, db):
+        db.execute("CREATE SEQUENCE s")
+        sequence = db.catalog.get_sequence("s")
+        sequence.nextval()
+        sequence.nextval()
+        sequence.reset()
+        assert sequence.nextval() == 1
+
+    def test_duplicate_sequence_rejected(self, db):
+        db.execute("CREATE SEQUENCE s")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE SEQUENCE s")
+
+
+class TestStatementDescribe:
+    def test_describe_mentions_all_clauses(self):
+        from repro.minerule import parse_mine_rule
+
+        statement = parse_mine_rule(
+            "MINE RULE Out AS SELECT DISTINCT 2..3 item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT FROM t GROUP BY g, h "
+            "CLUSTER BY c EXTRACTING RULES WITH SUPPORT: 0.25, "
+            "CONFIDENCE: 0.75"
+        )
+        text = statement.describe()
+        assert "body item [2..3]" in text
+        assert "group by g,h" in text
+        assert "cluster by c" in text
+        assert "support>=0.25" in text

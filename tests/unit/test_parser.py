@@ -1,0 +1,363 @@
+"""SQL parser tests: SELECT shapes, DDL, DML, expressions."""
+
+import datetime
+
+import pytest
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import SqlParseError
+from repro.sqlengine.parser import parse_script, parse_sql, split_statements
+from repro.sqlengine.types import SqlType
+
+
+class TestSelectCore:
+    def test_minimal_select(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr == ast.ColumnRef(None, "a")
+        assert stmt.from_sources[0].name == "t"
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+        assert not parse_sql("SELECT ALL a FROM t").distinct
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT v.* FROM t v")
+        assert stmt.items[0].expr == ast.Star("v")
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_from_alias_with_and_without_as(self):
+        stmt = parse_sql("SELECT 1 FROM t1 AS a, t2 b")
+        assert stmt.from_sources[0].alias == "a"
+        assert stmt.from_sources[1].alias == "b"
+
+    def test_where(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 5")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.BinaryOp)
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit_offset(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == ast.Literal(10)
+        assert stmt.offset == ast.Literal(5)
+
+    def test_select_into_variables(self):
+        stmt = parse_sql("SELECT COUNT(*) INTO :totg FROM t")
+        assert stmt.into_vars == ("totg",)
+
+    def test_derived_table(self):
+        stmt = parse_sql("SELECT x FROM (SELECT a AS x FROM t) sub")
+        source = stmt.from_sources[0]
+        assert isinstance(source, ast.SubquerySource)
+        assert source.alias == "sub"
+
+    def test_trailing_semicolon_accepted(self):
+        parse_sql("SELECT 1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT 1 garbage extra tokens here FROM")
+
+    def test_missing_expression_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT FROM t")
+
+    def test_date_column_reference(self):
+        # the Purchase table has a column literally named "date"
+        stmt = parse_sql("SELECT date FROM t WHERE date > DATE '1995-01-01'")
+        assert stmt.items[0].expr == ast.ColumnRef(None, "date")
+
+    def test_qualified_date_column(self):
+        stmt = parse_sql("SELECT s.date FROM t s")
+        assert stmt.items[0].expr == ast.ColumnRef("s", "date")
+
+
+class TestJoins:
+    def test_explicit_inner_join(self):
+        stmt = parse_sql("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        join = stmt.from_sources[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT 1 FROM a LEFT JOIN b ON a.x = b.x")
+        assert stmt.from_sources[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_sql("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.from_sources[0].kind == "LEFT"
+
+    def test_cross_join(self):
+        stmt = parse_sql("SELECT 1 FROM a CROSS JOIN b")
+        join = stmt.from_sources[0]
+        assert join.kind == "CROSS"
+        assert join.condition is None
+
+    def test_join_chain(self):
+        stmt = parse_sql(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_sources[0]
+        assert outer.kind == "LEFT"
+        assert outer.left.kind == "INNER"
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT 1 FROM a JOIN b")
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_sql(f"SELECT {text}").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        node = self.expr("a OR b AND c")
+        assert node.op == "OR"
+        assert node.right.op == "AND"
+
+    def test_not(self):
+        node = self.expr("NOT a")
+        assert node == ast.UnaryOp("NOT", ast.ColumnRef(None, "a"))
+
+    def test_unary_minus_folds_literals(self):
+        assert self.expr("-5") == ast.Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        assert self.expr("-a") == ast.UnaryOp("-", ast.ColumnRef(None, "a"))
+
+    def test_between(self):
+        node = self.expr("a BETWEEN 1 AND 10")
+        assert isinstance(node, ast.Between)
+        assert not node.negated
+
+    def test_not_between(self):
+        assert self.expr("a NOT BETWEEN 1 AND 10").negated
+
+    def test_in_list(self):
+        node = self.expr("a IN (1, 2, 3)")
+        assert isinstance(node, ast.InList)
+        assert len(node.items) == 3
+
+    def test_in_subquery(self):
+        node = self.expr("a IN (SELECT b FROM t)")
+        assert isinstance(node, ast.InSubquery)
+
+    def test_exists(self):
+        node = parse_sql("SELECT 1 WHERE EXISTS (SELECT 1 FROM t)").where
+        assert isinstance(node, ast.Exists)
+
+    def test_like(self):
+        node = self.expr("a LIKE 'x%'")
+        assert isinstance(node, ast.Like)
+
+    def test_not_like(self):
+        assert self.expr("a NOT LIKE 'x%'").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.expr("a IS NULL").negated
+        assert self.expr("a IS NOT NULL").negated
+
+    def test_case_searched(self):
+        node = self.expr("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(node, ast.Case)
+        assert node.operand is None
+
+    def test_case_simple(self):
+        node = self.expr("CASE a WHEN 1 THEN 'one' END")
+        assert node.operand == ast.ColumnRef(None, "a")
+        assert node.else_ is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT CASE END")
+
+    def test_cast(self):
+        node = self.expr("CAST(a AS INTEGER)")
+        assert node == ast.Cast(ast.ColumnRef(None, "a"), SqlType.INTEGER)
+
+    def test_cast_with_length(self):
+        node = self.expr("CAST(a AS VARCHAR(30))")
+        assert node.target is SqlType.VARCHAR
+
+    def test_scalar_subquery(self):
+        node = self.expr("(SELECT MAX(x) FROM t)")
+        assert isinstance(node, ast.ScalarSubquery)
+
+    def test_count_star(self):
+        node = self.expr("COUNT(*)")
+        assert node.star
+
+    def test_count_distinct(self):
+        node = self.expr("COUNT(DISTINCT a)")
+        assert node.distinct
+
+    def test_sequence_nextval(self):
+        node = self.expr("Gidsequence.NEXTVAL")
+        assert node == ast.SequenceNextval("Gidsequence")
+
+    def test_hostvar_expression(self):
+        node = self.expr(":minsup * 2")
+        assert node.left == ast.HostVar("minsup")
+
+    def test_concat(self):
+        assert self.expr("a || b").op == "||"
+
+    def test_tuple_expression(self):
+        node = self.expr("(1, 2)")
+        assert isinstance(node, ast.TupleExpr)
+
+    def test_boolean_literals(self):
+        assert self.expr("TRUE") == ast.Literal(True)
+        assert self.expr("FALSE") == ast.Literal(False)
+        assert self.expr("NULL") == ast.Literal(None)
+
+    def test_date_literal_expression(self):
+        assert self.expr("DATE '1995-12-17'") == ast.Literal(
+            datetime.date(1995, 12, 17)
+        )
+
+
+class TestSetOperations:
+    def test_union(self):
+        stmt = parse_sql("SELECT a FROM t UNION SELECT b FROM u")
+        assert stmt.set_ops[0][0] == "UNION"
+        assert stmt.set_ops[0][1] is False
+
+    def test_union_all(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.set_ops[0][1] is True
+
+    def test_intersect_and_except(self):
+        stmt = parse_sql(
+            "SELECT a FROM t INTERSECT SELECT a FROM u EXCEPT SELECT a FROM v"
+        )
+        assert [op for op, _, _ in stmt.set_ops] == ["INTERSECT", "EXCEPT"]
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_sql("CREATE TABLE t (a INTEGER, b VARCHAR, c DATE)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.type for c in stmt.columns] == [
+            SqlType.INTEGER,
+            SqlType.VARCHAR,
+            SqlType.DATE,
+        ]
+
+    def test_create_table_ignores_constraints(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (a INTEGER NOT NULL PRIMARY KEY, b TEXT)"
+        )
+        assert len(stmt.columns) == 2
+
+    def test_create_table_as_select(self):
+        stmt = parse_sql("CREATE TABLE t AS SELECT a FROM u")
+        assert isinstance(stmt, ast.CreateTableAsSelect)
+
+    def test_create_view(self):
+        stmt = parse_sql("CREATE VIEW v AS (SELECT a FROM t)")
+        assert isinstance(stmt, ast.CreateView)
+        assert not stmt.or_replace
+
+    def test_create_or_replace_view(self):
+        stmt = parse_sql("CREATE OR REPLACE VIEW v AS SELECT a FROM t")
+        assert stmt.or_replace
+
+    def test_create_sequence(self):
+        stmt = parse_sql("CREATE SEQUENCE Gidsequence")
+        assert isinstance(stmt, ast.CreateSequence)
+        assert stmt.start == 1
+
+    def test_create_sequence_start_with(self):
+        stmt = parse_sql("CREATE SEQUENCE s START WITH 100")
+        assert stmt.start == 100
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE INDEX i ON t (a, b)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.columns == ("a", "b")
+
+    def test_drop_objects(self):
+        for kind in ("TABLE", "VIEW", "SEQUENCE", "INDEX"):
+            stmt = parse_sql(f"DROP {kind} x")
+            assert stmt.kind == kind
+            assert not stmt.if_exists
+
+    def test_drop_if_exists(self):
+        stmt = parse_sql("DROP TABLE IF EXISTS x")
+        assert stmt.if_exists
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.InsertValues)
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select_parenthesised(self):
+        stmt = parse_sql("INSERT INTO t (SELECT a FROM u)")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_insert_select_bare(self):
+        stmt = parse_sql("INSERT INTO t SELECT a FROM u")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_insert_select_missing_close_paren_tolerated(self):
+        # Appendix A prints queries without some closing parentheses.
+        stmt = parse_sql("INSERT INTO t (SELECT a FROM u")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_all(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+
+class TestScripts:
+    def test_split_statements(self):
+        chunks = split_statements("SELECT 1; SELECT 2 ; ")
+        assert len(chunks) == 2
+
+    def test_split_respects_strings(self):
+        chunks = split_statements("SELECT 'a;b'; SELECT 2")
+        assert len(chunks) == 2
+        assert "'a;b'" in chunks[0]
+
+    def test_parse_script(self):
+        stmts = parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1)")
+        assert len(stmts) == 2

@@ -1,0 +1,107 @@
+"""Session report tests (ease-of-view, Section 3 objective 4)."""
+
+import pytest
+
+from repro import MiningSystem
+from repro.cli import Shell
+from repro.datagen import load_purchase_figure1
+from repro.report import ReportOptions, render_report, report
+
+STATEMENT = """
+MINE RULE Rep AS
+SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+FROM Purchase
+GROUP BY customer
+EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5
+"""
+
+
+@pytest.fixture
+def system():
+    sys_ = MiningSystem()
+    load_purchase_figure1(sys_.db)
+    return sys_
+
+
+class TestRenderReport:
+    def test_basic_sections(self, system):
+        result = system.execute(STATEMENT)
+        text = render_report(system, result)
+        assert "MINE RULE report — Rep" in text
+        assert "classification:" in text
+        assert "groups: 2" in text
+        assert "encoded tables:" in text
+        assert "timings:" in text
+        assert f"rules: {len(result.rules)}" in text
+
+    def test_rules_sorted_by_support_default(self, system):
+        result = system.execute(STATEMENT)
+        text = render_report(system, result)
+        rule_lines = [l for l in text.splitlines() if "=>" in l]
+        assert rule_lines  # rules are listed
+
+    def test_top_truncation(self, system):
+        result = system.execute(STATEMENT)
+        text = render_report(
+            system, result, options=ReportOptions(top=2)
+        )
+        assert "... and" in text
+        assert len([l for l in text.splitlines() if "=>" in l]) == 2
+
+    def test_metrics_annotated(self, system):
+        result = system.execute(STATEMENT)
+        metrics = system.compute_metrics(result, store=False)
+        text = render_report(system, result, metrics)
+        assert "lift=" in text and "conviction=" in text
+
+    def test_sort_by_confidence(self, system):
+        result = system.execute(STATEMENT)
+        text = render_report(
+            system, result, options=ReportOptions(sort_by="confidence")
+        )
+        confidences = [
+            float(line.split("confidence=")[1].split(")")[0])
+            for line in text.splitlines()
+            if "confidence=" in line and "=>" in line
+        ]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_include_program(self, system):
+        result = system.execute(STATEMENT)
+        text = render_report(
+            system, result, options=ReportOptions(include_program=True)
+        )
+        assert "translation program:" in text
+        assert "-- Q1:" in text
+
+    def test_one_call_report(self, system):
+        text = report(system, STATEMENT)
+        assert "MINE RULE report" in text
+        assert "lift=" in text
+
+    def test_reused_preprocessing_noted(self, system):
+        system.execute(STATEMENT)
+        second = system.execute(STATEMENT.replace("Rep", "Rep2"))
+        text = render_report(system, second)
+        assert "reused encoded tables" in text
+
+
+class TestShellReport:
+    def test_report_requires_prior_statement(self):
+        shell = Shell()
+        assert "no MINE RULE" in shell.execute(".report")
+
+    def test_report_after_statement(self):
+        shell = Shell()
+        shell.execute(".load purchase")
+        shell.execute(STATEMENT)
+        out = shell.execute(".report")
+        assert "MINE RULE report — Rep" in out
+        assert "lift=" in out
+
+    def test_report_sort_argument(self):
+        shell = Shell()
+        shell.execute(".load purchase")
+        shell.execute(STATEMENT)
+        out = shell.execute(".report confidence")
+        assert "MINE RULE report" in out

@@ -1,0 +1,124 @@
+"""Scalar function evaluation tests."""
+
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def scalar(db, expr, **params):
+    return db.execute(f"SELECT {expr}", params or None).scalar()
+
+
+class TestStringFunctions:
+    def test_upper_lower(self, db):
+        assert scalar(db, "UPPER('abc')") == "ABC"
+        assert scalar(db, "LOWER('AbC')") == "abc"
+
+    def test_length(self, db):
+        assert scalar(db, "LENGTH('hello')") == 5
+        assert scalar(db, "LENGTH('')") == 0
+
+    def test_trim(self, db):
+        assert scalar(db, "TRIM('  x  ')") == "x"
+
+    def test_substr_one_based(self, db):
+        assert scalar(db, "SUBSTR('abcdef', 2, 3)") == "bcd"
+
+    def test_substr_without_length(self, db):
+        assert scalar(db, "SUBSTR('abcdef', 4)") == "def"
+
+    def test_substring_synonym(self, db):
+        assert scalar(db, "SUBSTRING('abc', 1, 1)") == "a"
+
+    def test_null_propagates(self, db):
+        assert scalar(db, "UPPER(NULL)") is None
+        assert scalar(db, "SUBSTR(NULL, 1)") is None
+
+    def test_concat_operator_coerces(self, db):
+        assert scalar(db, "'n=' || 5") == "n=5"
+        assert scalar(db, "1.5 || 'x'") == "1.5x"
+
+
+class TestNumericFunctions:
+    def test_abs(self, db):
+        assert scalar(db, "ABS(-3)") == 3
+        assert scalar(db, "ABS(2.5)") == 2.5
+
+    def test_round(self, db):
+        assert scalar(db, "ROUND(2.567, 2)") == 2.57
+        assert scalar(db, "ROUND(2.5)") == 2  # banker's rounding
+
+    def test_floor_ceil(self, db):
+        assert scalar(db, "FLOOR(2.9)") == 2
+        assert scalar(db, "CEIL(2.1)") == 3
+        assert scalar(db, "CEILING(2.0)") == 2
+
+    def test_mod(self, db):
+        assert scalar(db, "MOD(7, 3)") == 1
+
+    def test_power_sqrt(self, db):
+        assert scalar(db, "POWER(2, 10)") == 1024
+        assert scalar(db, "SQRT(9.0)") == 3.0
+
+    def test_sign(self, db):
+        assert scalar(db, "SIGN(-9)") == -1
+        assert scalar(db, "SIGN(0)") == 0
+        assert scalar(db, "SIGN(4)") == 1
+
+    def test_null_propagates(self, db):
+        assert scalar(db, "ABS(NULL)") is None
+        assert scalar(db, "MOD(NULL, 2)") is None
+
+
+class TestConditionalFunctions:
+    def test_coalesce_chain(self, db):
+        assert scalar(db, "COALESCE(NULL, NULL, 7, 9)") == 7
+        assert scalar(db, "COALESCE(NULL, NULL)") is None
+
+    def test_nullif_arity_checked(self, db):
+        with pytest.raises(ExecutionError):
+            scalar(db, "NULLIF(1)")
+
+    def test_case_in_projection(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        for v in (-2, 0, 5):
+            db.execute(f"INSERT INTO t VALUES ({v})")
+        rows = db.query(
+            "SELECT CASE WHEN x < 0 THEN 'neg' WHEN x = 0 THEN 'zero' "
+            "ELSE 'pos' END FROM t ORDER BY x"
+        )
+        assert rows == [("neg",), ("zero",), ("pos",)]
+
+    def test_unknown_function_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            scalar(db, "FROBNICATE(1)")
+
+
+class TestFunctionsOverRows:
+    def test_function_of_column(self, db):
+        db.execute("CREATE TABLE t (name VARCHAR)")
+        db.execute("INSERT INTO t VALUES ('Alice'), ('bob')")
+        rows = db.query("SELECT UPPER(name) FROM t ORDER BY 1")
+        assert rows == [("ALICE",), ("BOB",)]
+
+    def test_function_inside_aggregate(self, db):
+        db.execute("CREATE TABLE t (name VARCHAR)")
+        db.execute("INSERT INTO t VALUES ('aa'), ('bbb'), ('c')")
+        assert db.execute("SELECT MAX(LENGTH(name)) FROM t").scalar() == 3
+
+    def test_aggregate_inside_function(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.execute("INSERT INTO t VALUES (3), (-10)")
+        assert db.execute("SELECT ABS(MIN(x)) FROM t").scalar() == 10
+
+    def test_function_in_where(self, db):
+        db.execute("CREATE TABLE t (name VARCHAR)")
+        db.execute("INSERT INTO t VALUES ('short'), ('muchlongername')")
+        rows = db.query("SELECT name FROM t WHERE LENGTH(name) > 6")
+        assert rows == [("muchlongername",)]

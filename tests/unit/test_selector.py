@@ -1,0 +1,95 @@
+"""Automatic algorithm selection tests."""
+
+import pytest
+
+from repro.algorithms import (
+    AutoSelect,
+    InputStatistics,
+    get_algorithm,
+    select_algorithm,
+)
+from repro.algorithms.apriori import Apriori
+from repro.algorithms.dhp import DirectHashingPruning
+from repro.algorithms.partition import Partition
+
+
+def stats(groups, items, entries):
+    return InputStatistics(
+        groups=groups, distinct_items=items, total_entries=entries
+    )
+
+
+class TestStatistics:
+    def test_of_group_map(self):
+        s = InputStatistics.of({1: frozenset({1, 2}), 2: frozenset({2})})
+        assert s.groups == 2
+        assert s.distinct_items == 2
+        assert s.total_entries == 3
+        assert s.average_group_size == 1.5
+
+    def test_empty(self):
+        s = InputStatistics.of({})
+        assert s.average_group_size == 0.0
+
+
+class TestHeuristic:
+    def test_tiny_input_uses_apriori(self):
+        chosen = select_algorithm(stats(10, 100, 200), min_count=2)
+        assert isinstance(chosen, Apriori)
+
+    def test_dense_groups_use_dhp(self):
+        chosen = select_algorithm(stats(1_000, 200, 20_000), min_count=10)
+        assert isinstance(chosen, DirectHashingPruning)
+
+    def test_many_sparse_groups_use_partition(self):
+        chosen = select_algorithm(stats(10_000, 500, 30_000), min_count=50)
+        assert isinstance(chosen, Partition)
+
+    def test_default_is_apriori(self):
+        chosen = select_algorithm(stats(500, 100, 2_000), min_count=5)
+        assert isinstance(chosen, Apriori)
+
+
+class TestAutoSelect:
+    EXAMPLE = {
+        gid: frozenset(items)
+        for gid, items in enumerate(
+            [{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3}], 1
+        )
+    }
+
+    def test_registered_in_pool(self):
+        miner = get_algorithm("auto")
+        assert isinstance(miner, AutoSelect)
+
+    def test_result_matches_apriori(self):
+        auto = AutoSelect()
+        assert auto.mine(self.EXAMPLE, 2) == Apriori().mine(self.EXAMPLE, 2)
+
+    def test_records_choice(self):
+        auto = AutoSelect()
+        auto.mine(self.EXAMPLE, 2)
+        assert auto.last_choice == "apriori"  # tiny input
+
+    def test_dense_choice_recorded(self):
+        dense = {
+            gid: frozenset(range(20)) for gid in range(100)
+        }
+        auto = AutoSelect()
+        auto.mine(dense, 100)
+        assert auto.last_choice == "dhp"
+
+    def test_usable_in_mining_system(self):
+        from repro import MiningSystem
+        from repro.datagen import load_purchase_figure1
+
+        system = MiningSystem(algorithm="auto")
+        load_purchase_figure1(system.db)
+        result = system.execute(
+            "MINE RULE A AS SELECT DISTINCT 1..n item AS BODY, "
+            "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM Purchase "
+            "GROUP BY customer "
+            "EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5"
+        )
+        assert result.rules
+        assert system.algorithm.last_choice == "apriori"

@@ -1,0 +1,140 @@
+"""Type system and value-semantics tests."""
+
+import datetime
+
+import pytest
+
+from repro.sqlengine.errors import SqlTypeError
+from repro.sqlengine.evaluator import compare, tvl_and, tvl_not, tvl_or
+from repro.sqlengine.types import (
+    SqlType,
+    coerce,
+    infer_type,
+    is_comparable,
+    type_from_name,
+)
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INTEGER", SqlType.INTEGER),
+            ("int", SqlType.INTEGER),
+            ("BIGINT", SqlType.INTEGER),
+            ("REAL", SqlType.REAL),
+            ("float", SqlType.REAL),
+            ("NUMERIC", SqlType.REAL),
+            ("DECIMAL", SqlType.REAL),
+            ("VARCHAR", SqlType.VARCHAR),
+            ("char", SqlType.VARCHAR),
+            ("TEXT", SqlType.VARCHAR),
+            ("DATE", SqlType.DATE),
+            ("BOOLEAN", SqlType.BOOLEAN),
+        ],
+    )
+    def test_synonyms(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlTypeError):
+            type_from_name("BLOB")
+
+
+class TestInference:
+    def test_infer(self):
+        assert infer_type(None) is None
+        assert infer_type(True) is SqlType.BOOLEAN
+        assert infer_type(3) is SqlType.INTEGER
+        assert infer_type(3.5) is SqlType.REAL
+        assert infer_type("x") is SqlType.VARCHAR
+        assert infer_type(datetime.date(2000, 1, 1)) is SqlType.DATE
+
+    def test_infer_unsupported(self):
+        with pytest.raises(SqlTypeError):
+            infer_type(object())
+
+
+class TestCoercion:
+    def test_null_passes_through(self):
+        assert coerce(None, SqlType.INTEGER) is None
+
+    def test_int_widens_to_real(self):
+        value = coerce(3, SqlType.REAL)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_integral_float_narrows_to_int(self):
+        assert coerce(3.0, SqlType.INTEGER) == 3
+
+    def test_fractional_float_to_int_rejected(self):
+        with pytest.raises(SqlTypeError):
+            coerce(3.5, SqlType.INTEGER)
+
+    def test_iso_string_to_date(self):
+        assert coerce("1995-12-17", SqlType.DATE) == datetime.date(1995, 12, 17)
+
+    def test_bad_date_string_rejected(self):
+        with pytest.raises(SqlTypeError):
+            coerce("12/17/1995", SqlType.DATE)
+
+    def test_string_to_int_rejected(self):
+        with pytest.raises(SqlTypeError):
+            coerce("5", SqlType.INTEGER)
+
+    def test_bool_to_int(self):
+        assert coerce(True, SqlType.INTEGER) == 1
+
+
+class TestComparability:
+    def test_numeric_cross_type(self):
+        assert is_comparable(1, 2.5)
+
+    def test_string_vs_number(self):
+        assert not is_comparable("a", 1)
+
+    def test_null_comparable_with_anything(self):
+        assert is_comparable(None, "x")
+
+    def test_dates(self):
+        assert is_comparable(
+            datetime.date(2000, 1, 1), datetime.date(2001, 1, 1)
+        )
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert tvl_and(True, True) is True
+        assert tvl_and(True, False) is False
+        assert tvl_and(False, None) is False
+        assert tvl_and(True, None) is None
+        assert tvl_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert tvl_or(False, False) is False
+        assert tvl_or(True, None) is True
+        assert tvl_or(False, None) is None
+        assert tvl_or(None, None) is None
+
+    def test_not(self):
+        assert tvl_not(True) is False
+        assert tvl_not(False) is True
+        assert tvl_not(None) is None
+
+    def test_compare_null_is_unknown(self):
+        assert compare("=", None, 1) is None
+        assert compare("<", 1, None) is None
+
+    def test_compare_operators(self):
+        assert compare("=", 2, 2) is True
+        assert compare("<>", 2, 3) is True
+        assert compare("<", 1, 2) is True
+        assert compare("<=", 2, 2) is True
+        assert compare(">", 3, 2) is True
+        assert compare(">=", 2, 3) is False
+
+    def test_compare_mixed_numeric(self):
+        assert compare("=", 2, 2.0) is True
+
+    def test_compare_incompatible_rejected(self):
+        with pytest.raises(SqlTypeError):
+            compare("<", "a", 1)
