@@ -36,10 +36,9 @@ import itertools
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.kernel.core.inputs import GeneralInput
+from repro.kernel.core.rules import CONFIDENCE_EPSILON as _EPSILON
 from repro.kernel.core.rules import EncodedRule
 from repro.kernel.program import CoreDirectives
-
-_EPSILON = 1e-12
 
 #: a rule key: (sorted body ids, sorted head ids)
 RuleKey = Tuple[Tuple[int, ...], Tuple[int, ...]]

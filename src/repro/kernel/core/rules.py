@@ -11,6 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet
 
+#: tolerance for comparisons between float confidence/support ratios —
+#: shared by every core-operator variant and the metrics module so the
+#: threshold semantics cannot drift between implementations
+CONFIDENCE_EPSILON = 1e-12
+
 
 @dataclass(frozen=True)
 class EncodedRule:

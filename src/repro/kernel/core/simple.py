@@ -19,11 +19,9 @@ from typing import Dict, FrozenSet, List, Optional
 
 from repro.algorithms.base import FrequentItemsetMiner
 from repro.kernel.core.inputs import SimpleInput
+from repro.kernel.core.rules import CONFIDENCE_EPSILON as _EPSILON
 from repro.kernel.core.rules import EncodedRule
 from repro.kernel.program import CoreDirectives
-
-#: tolerance for >= comparisons between float ratios
-_EPSILON = 1e-12
 
 
 class SimpleCoreOperator:

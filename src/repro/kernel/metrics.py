@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.kernel.core.inputs import CoreInputLoader
-from repro.kernel.core.rules import EncodedRule
+from repro.kernel.core.rules import CONFIDENCE_EPSILON, EncodedRule
 from repro.kernel.program import TranslationProgram
 from repro.sqlengine.engine import Database
 
@@ -67,7 +67,7 @@ def compute_metrics(
             rule.confidence / head_support if head_support > 0 else math.inf
         )
         leverage = rule.support - body_support * head_support
-        if rule.confidence >= 1.0 - 1e-12:
+        if rule.confidence >= 1.0 - CONFIDENCE_EPSILON:
             conviction: Optional[float] = None
         else:
             conviction = (1.0 - head_support) / (1.0 - rule.confidence)

@@ -17,7 +17,7 @@ The public entry point is :class:`~repro.sqlengine.engine.Database`::
     rows = db.query("SELECT a, b FROM t WHERE a > :low", {"low": 0})
 """
 
-from repro.sqlengine.engine import Database
+from repro.sqlengine.engine import CacheStats, Database, PreparedStatement
 from repro.sqlengine.options import EngineOptions
 from repro.sqlengine.errors import (
     CatalogError,
@@ -30,10 +30,12 @@ from repro.sqlengine.table import Table
 from repro.sqlengine.types import SqlType
 
 __all__ = [
+    "CacheStats",
     "CatalogError",
     "Database",
     "EngineOptions",
     "ExecutionError",
+    "PreparedStatement",
     "SqlError",
     "SqlParseError",
     "SqlType",

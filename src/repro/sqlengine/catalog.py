@@ -58,6 +58,12 @@ class Catalog:
         self._views: Dict[str, View] = {}
         self._sequences: Dict[str, Sequence] = {}
         self._indexes: Dict[str, Index] = {}
+        #: monotone counter bumped by every DDL change; the engine's
+        #: plan cache keys on it, so any catalog change evicts plans
+        self.version = 0
+
+    def _bump_version(self) -> None:
+        self.version += 1
 
     # -- tables -----------------------------------------------------------
 
@@ -66,6 +72,7 @@ class Catalog:
         if key in self._tables or key in self._views:
             raise CatalogError(f"object {table.name!r} already exists")
         self._tables[key] = table
+        self._bump_version()
 
     def get_table(self, name: str) -> Table:
         try:
@@ -86,6 +93,7 @@ class Catalog:
         self._indexes = {
             k: ix for k, ix in self._indexes.items() if ix.table.lower() != key
         }
+        self._bump_version()
         return True
 
     def tables(self) -> List[Table]:
@@ -100,6 +108,7 @@ class Catalog:
         if key in self._views and not or_replace:
             raise CatalogError(f"view {view.name!r} already exists")
         self._views[key] = view
+        self._bump_version()
 
     def get_view(self, name: str) -> View:
         try:
@@ -117,6 +126,7 @@ class Catalog:
                 return False
             raise CatalogError(f"no such view: {name!r}")
         del self._views[key]
+        self._bump_version()
         return True
 
     def views(self) -> List[View]:
@@ -130,6 +140,7 @@ class Catalog:
             raise CatalogError(f"sequence {name!r} already exists")
         seq = Sequence(name, start)
         self._sequences[key] = seq
+        self._bump_version()
         return seq
 
     def get_sequence(self, name: str) -> Sequence:
@@ -148,6 +159,7 @@ class Catalog:
                 return False
             raise CatalogError(f"no such sequence: {name!r}")
         del self._sequences[key]
+        self._bump_version()
         return True
 
     # -- indexes -----------------------------------------------------------
@@ -159,6 +171,7 @@ class Catalog:
         table = self.get_table(index.table)
         table.create_index(index.name, index.columns)
         self._indexes[key] = index
+        self._bump_version()
 
     def drop_index(self, name: str, if_exists: bool = False) -> bool:
         key = name.lower()
@@ -169,6 +182,7 @@ class Catalog:
         index = self._indexes.pop(key)
         if self.has_table(index.table):
             self.get_table(index.table).drop_index(name)
+        self._bump_version()
         return True
 
     # -- data dictionary services -------------------------------------------

@@ -1,0 +1,477 @@
+"""Expression compilation: AST expressions lowered to Python closures.
+
+The interpreted :class:`~repro.sqlengine.evaluator.Evaluator` walks the
+AST for every row and resolves every column reference through
+``Frame.lookup`` string hashing.  The mining architecture routes each
+MINE RULE execution through a dozen generated SQL queries (Q0..Q11)
+that scan and join the encoded tables, so that per-row overhead *is*
+the system's hot path.  This module lowers each planned expression
+**once** into a closure:
+
+* column references become fixed ``env.rows[src][col]`` tuple indexing
+  against the operator's compile-time :class:`Frame` — no per-row name
+  hashing;
+* constant LIKE patterns compile their regex once instead of per row;
+* dispatch happens at compile time, so evaluating a row is a plain
+  chain of Python calls with no ``type(expr)`` lookups.
+
+Three-valued logic, NULL propagation, type errors and evaluation order
+(short-circuit AND/OR, IN early exit, CASE branch order, NEXTVAL side
+effects) mirror the interpreter exactly; the differential property
+suite (``tests/property/test_compiler_differential.py``) enforces the
+equivalence.
+
+Expressions the compiler cannot lower — aggregates, subqueries,
+outer-scope (correlated) column references, ambiguous names — fall
+back to an interpreter closure, so binding is always total and always
+semantics-preserving.  :attr:`BoundExpr.compiled` records which path
+was taken; EXPLAIN surfaces it as ``[compiled]`` markers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import CatalogError, ExecutionError, SqlTypeError
+from repro.sqlengine.evaluator import (
+    SCALAR_FUNCTIONS,
+    Env,
+    Evaluator,
+    Frame,
+    _arith,
+    _like_to_regex,
+    _to_str,
+    compare,
+    tvl_and,
+    tvl_not,
+    tvl_or,
+)
+from repro.sqlengine.parser import AGGREGATE_NAMES
+from repro.sqlengine.types import SqlType, coerce
+
+#: a lowered expression: called with the row Env (or None), returns the value
+ExprFn = Callable[[Optional[Env]], Any]
+
+_truth = Evaluator._as_truth
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class BoundExpr:
+    """An expression bound to an execution frame: a callable plus a
+    flag recording whether it was compiled or fell back to the
+    interpreter."""
+
+    __slots__ = ("fn", "compiled")
+
+    def __init__(self, fn: ExprFn, compiled: bool):
+        self.fn = fn
+        self.compiled = compiled
+
+
+def bind_expr(
+    expr: ast.Expression,
+    frame: Optional[Frame],
+    evaluator: Evaluator,
+    compiler: Optional["ExpressionCompiler"],
+) -> BoundExpr:
+    """Bind *expr* for evaluation against rows of *frame*: compiled
+    when a compiler is supplied and the expression is lowerable,
+    an interpreter closure otherwise."""
+    if compiler is not None:
+        return compiler.bind(expr, frame)
+    return BoundExpr(lambda env, _e=expr: evaluator.eval(_e, env), False)
+
+
+class ExpressionCompiler:
+    """Lowers AST expressions to closures over a fixed frame.
+
+    ``enabled=False`` (the ``compile_expressions`` engine option turned
+    off) makes every :meth:`bind` return an interpreter fallback, which
+    is how the differential tests and the SYN ablations exercise the
+    interpreted path through identical operator code.
+    """
+
+    def __init__(self, evaluator: Evaluator, enabled: bool = True):
+        self._evaluator = evaluator
+        self.enabled = enabled
+
+    # -- public API --------------------------------------------------------
+
+    def bind(self, expr: ast.Expression, frame: Optional[Frame]) -> BoundExpr:
+        if self.enabled:
+            fn = self._compile(expr, frame)
+            if fn is not None:
+                return BoundExpr(fn, True)
+        evaluator = self._evaluator
+        return BoundExpr(lambda env, _e=expr: evaluator.eval(_e, env), False)
+
+    def bind_list(
+        self, exprs: Sequence[ast.Expression], frame: Optional[Frame]
+    ) -> List[BoundExpr]:
+        return [self.bind(expr, frame) for expr in exprs]
+
+    # -- compilation core --------------------------------------------------
+
+    def _compile(
+        self, expr: ast.Expression, frame: Optional[Frame]
+    ) -> Optional[ExprFn]:
+        """Return a closure for *expr* or ``None`` when it (or any
+        sub-expression) must stay interpreted."""
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            return None
+        return method(self, expr, frame)
+
+    def _compile_all(
+        self, exprs: Sequence[ast.Expression], frame: Optional[Frame]
+    ) -> Optional[List[ExprFn]]:
+        fns = []
+        for expr in exprs:
+            fn = self._compile(expr, frame)
+            if fn is None:
+                return None
+            fns.append(fn)
+        return fns
+
+    # -- node lowerings ----------------------------------------------------
+
+    def _literal(self, expr: ast.Literal, frame) -> ExprFn:
+        value = expr.value
+        return lambda env: value
+
+    def _hostvar(self, expr: ast.HostVar, frame) -> ExprFn:
+        # Reads the evaluator's *current* bindings at call time so a
+        # cached plan sees the parameters of each new execution.
+        evaluator = self._evaluator
+        name = expr.name
+
+        def fn(env):
+            try:
+                return evaluator._params[name]
+            except KeyError:
+                raise ExecutionError(f"unbound host variable :{name}") from None
+
+        return fn
+
+    def _column(self, expr: ast.ColumnRef, frame) -> Optional[ExprFn]:
+        if frame is None:
+            return None
+        try:
+            hit = frame.lookup(expr.qualifier, expr.name)
+        except CatalogError:
+            # Ambiguous here: stay interpreted so the error surfaces at
+            # evaluation time exactly as the interpreter raises it.
+            return None
+        if hit is None:
+            # Not visible in this frame: an outer-scope (correlated)
+            # reference that needs the parent-environment walk.
+            return None
+        src_idx, col_idx = hit
+        return lambda env: env.rows[src_idx][col_idx]
+
+    def _nextval(self, expr: ast.SequenceNextval, frame) -> ExprFn:
+        database = self._evaluator._db
+        sequence = expr.sequence
+        return lambda env: database.catalog.get_sequence(sequence).nextval()
+
+    def _binary(self, expr: ast.BinaryOp, frame) -> Optional[ExprFn]:
+        left = self._compile(expr.left, frame)
+        if left is None:
+            return None
+        right = self._compile(expr.right, frame)
+        if right is None:
+            return None
+        op = expr.op
+        if op == "AND":
+
+            def fn_and(env):
+                lval = _truth(left(env))
+                if lval is False:
+                    return False
+                return tvl_and(lval, _truth(right(env)))
+
+            return fn_and
+        if op == "OR":
+
+            def fn_or(env):
+                lval = _truth(left(env))
+                if lval is True:
+                    return True
+                return tvl_or(lval, _truth(right(env)))
+
+            return fn_or
+        if op in _COMPARISON_OPS:
+            return lambda env: compare(op, left(env), right(env))
+        if op == "||":
+
+            def fn_concat(env):
+                lval = left(env)
+                rval = right(env)
+                if lval is None or rval is None:
+                    return None
+                return _to_str(lval) + _to_str(rval)
+
+            return fn_concat
+
+        def fn_arith(env):
+            lval = left(env)
+            rval = right(env)
+            if lval is None or rval is None:
+                return None
+            return _arith(op, lval, rval)
+
+        return fn_arith
+
+    def _unary(self, expr: ast.UnaryOp, frame) -> Optional[ExprFn]:
+        operand = self._compile(expr.operand, frame)
+        if operand is None:
+            return None
+        if expr.op == "NOT":
+            return lambda env: tvl_not(_truth(operand(env)))
+        if expr.op == "-":
+
+            def fn_neg(env):
+                value = operand(env)
+                if value is None:
+                    return None
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise SqlTypeError(f"cannot negate {value!r}")
+                return -value
+
+            return fn_neg
+        return None
+
+    def _function(self, expr: ast.FunctionCall, frame) -> Optional[ExprFn]:
+        if expr.name in AGGREGATE_NAMES or expr.star:
+            return None  # aggregates need the group machinery
+        if expr.name == "COALESCE":
+            arg_fns = self._compile_all(expr.args, frame)
+            if arg_fns is None:
+                return None
+
+            def fn_coalesce(env):
+                for arg in arg_fns:
+                    value = arg(env)
+                    if value is not None:
+                        return value
+                return None
+
+            return fn_coalesce
+        if expr.name == "NULLIF":
+            if len(expr.args) != 2:
+                return None  # interpreter raises the arity error
+            arg_fns = self._compile_all(expr.args, frame)
+            if arg_fns is None:
+                return None
+            first_fn, second_fn = arg_fns
+
+            def fn_nullif(env):
+                first = first_fn(env)
+                second = second_fn(env)
+                return None if compare("=", first, second) is True else first
+
+            return fn_nullif
+        impl = SCALAR_FUNCTIONS.get(expr.name)
+        if impl is None:
+            return None  # interpreter raises "unknown function"
+        arg_fns = self._compile_all(expr.args, frame)
+        if arg_fns is None:
+            return None
+        if len(arg_fns) == 1:
+            only = arg_fns[0]
+            return lambda env: impl([only(env)])
+        return lambda env: impl([arg(env) for arg in arg_fns])
+
+    def _between(self, expr: ast.Between, frame) -> Optional[ExprFn]:
+        fns = self._compile_all((expr.expr, expr.low, expr.high), frame)
+        if fns is None:
+            return None
+        value_fn, low_fn, high_fn = fns
+        negated = expr.negated
+
+        def fn(env):
+            value = value_fn(env)
+            low = low_fn(env)
+            high = high_fn(env)
+            result = tvl_and(
+                compare(">=", value, low), compare("<=", value, high)
+            )
+            return tvl_not(result) if negated else result
+
+        return fn
+
+    def _in_list(self, expr: ast.InList, frame) -> Optional[ExprFn]:
+        value_fn = self._compile(expr.expr, frame)
+        if value_fn is None:
+            return None
+        item_fns = self._compile_all(expr.items, frame)
+        if item_fns is None:
+            return None
+        negated = expr.negated
+
+        def fn(env):
+            value = value_fn(env)
+            found = False
+            saw_null = False
+            for item in item_fns:
+                result = compare("=", value, item(env))
+                if result is True:
+                    found = True
+                    break
+                if result is None:
+                    saw_null = True
+            result3: Optional[bool] = (
+                True if found else (None if saw_null else False)
+            )
+            return tvl_not(result3) if negated else result3
+
+        return fn
+
+    def _like(self, expr: ast.Like, frame) -> Optional[ExprFn]:
+        value_fn = self._compile(expr.expr, frame)
+        if value_fn is None:
+            return None
+        negated = expr.negated
+        if isinstance(expr.pattern, ast.Literal) and isinstance(
+            expr.pattern.value, str
+        ):
+            regex = _like_to_regex(expr.pattern.value)
+
+            def fn_const(env):
+                value = value_fn(env)
+                if value is None:
+                    return None
+                if not isinstance(value, str):
+                    raise SqlTypeError("LIKE requires string operands")
+                result = bool(regex.match(value))
+                return not result if negated else result
+
+            return fn_const
+        pattern_fn = self._compile(expr.pattern, frame)
+        if pattern_fn is None:
+            return None
+        regex_cache: Dict[str, Any] = {}
+
+        def fn(env):
+            value = value_fn(env)
+            pattern = pattern_fn(env)
+            if value is None or pattern is None:
+                return None
+            if not isinstance(value, str) or not isinstance(pattern, str):
+                raise SqlTypeError("LIKE requires string operands")
+            compiled = regex_cache.get(pattern)
+            if compiled is None:
+                compiled = regex_cache[pattern] = _like_to_regex(pattern)
+            result = bool(compiled.match(value))
+            return not result if negated else result
+
+        return fn
+
+    def _is_null(self, expr: ast.IsNull, frame) -> Optional[ExprFn]:
+        value_fn = self._compile(expr.expr, frame)
+        if value_fn is None:
+            return None
+        if expr.negated:
+            return lambda env: value_fn(env) is not None
+        return lambda env: value_fn(env) is None
+
+    def _case(self, expr: ast.Case, frame) -> Optional[ExprFn]:
+        when_fns = []
+        for cond, result in expr.whens:
+            cond_fn = self._compile(cond, frame)
+            result_fn = self._compile(result, frame)
+            if cond_fn is None or result_fn is None:
+                return None
+            when_fns.append((cond_fn, result_fn))
+        else_fn = (
+            self._compile(expr.else_, frame) if expr.else_ is not None else None
+        )
+        if expr.else_ is not None and else_fn is None:
+            return None
+        if expr.operand is not None:
+            operand_fn = self._compile(expr.operand, frame)
+            if operand_fn is None:
+                return None
+
+            def fn_switch(env):
+                operand = operand_fn(env)
+                for cond_fn, result_fn in when_fns:
+                    if compare("=", operand, cond_fn(env)) is True:
+                        return result_fn(env)
+                return else_fn(env) if else_fn is not None else None
+
+            return fn_switch
+
+        def fn_search(env):
+            for cond_fn, result_fn in when_fns:
+                if cond_fn(env) is True:
+                    return result_fn(env)
+            return else_fn(env) if else_fn is not None else None
+
+        return fn_search
+
+    def _cast(self, expr: ast.Cast, frame) -> Optional[ExprFn]:
+        value_fn = self._compile(expr.expr, frame)
+        if value_fn is None:
+            return None
+        target = expr.target
+        if target is SqlType.VARCHAR:
+            convert: Callable[[Any], Any] = _to_str
+        elif target is SqlType.INTEGER:
+            convert = int
+        elif target is SqlType.REAL:
+            convert = float
+        else:
+            convert = lambda value: coerce(value, target)  # noqa: E731
+
+        def fn(env):
+            value = value_fn(env)
+            if value is None:
+                return None
+            return convert(value)
+
+        return fn
+
+    def _tuple(self, expr: ast.TupleExpr, frame) -> Optional[ExprFn]:
+        item_fns = self._compile_all(expr.items, frame)
+        if item_fns is None:
+            return None
+        return lambda env: tuple(item(env) for item in item_fns)
+
+    _DISPATCH: Dict[type, Callable[..., Optional[ExprFn]]] = {}
+
+
+ExpressionCompiler._DISPATCH = {
+    ast.Literal: ExpressionCompiler._literal,
+    ast.HostVar: ExpressionCompiler._hostvar,
+    ast.ColumnRef: ExpressionCompiler._column,
+    ast.SequenceNextval: ExpressionCompiler._nextval,
+    ast.BinaryOp: ExpressionCompiler._binary,
+    ast.UnaryOp: ExpressionCompiler._unary,
+    ast.FunctionCall: ExpressionCompiler._function,
+    ast.Between: ExpressionCompiler._between,
+    ast.InList: ExpressionCompiler._in_list,
+    ast.Like: ExpressionCompiler._like,
+    ast.IsNull: ExpressionCompiler._is_null,
+    ast.Case: ExpressionCompiler._case,
+    ast.Cast: ExpressionCompiler._cast,
+    ast.TupleExpr: ExpressionCompiler._tuple,
+    # InSubquery / Exists / ScalarSubquery / Star stay interpreted.
+}
+
+
+def make_key_fn(bound: Sequence[BoundExpr]) -> Callable[[Optional[Env]], tuple]:
+    """Compose per-key closures into one tuple-building key function
+    (specialised for the common 1- and 2-column join/group keys)."""
+    fns = [b.fn for b in bound]
+    if not fns:
+        return lambda env: ()
+    if len(fns) == 1:
+        only = fns[0]
+        return lambda env: (only(env),)
+    if len(fns) == 2:
+        first, second = fns
+        return lambda env: (first(env), second(env))
+    return lambda env: tuple(fn(env) for fn in fns)

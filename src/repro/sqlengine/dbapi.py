@@ -26,9 +26,10 @@ Deliberate deviations, documented:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.sqlengine.engine import Database
+from repro.sqlengine.engine import Database, PreparedStatement
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.result import Result
 
@@ -59,11 +60,36 @@ def connect(database: Optional[Database] = None) -> "Connection":
 
 
 class Connection:
-    """A DB-API connection: a thin session over one Database."""
+    """A DB-API connection: a thin session over one Database.
+
+    The connection keeps a small LRU of prepared statements, so
+    re-executing the same SQL text through a cursor skips parsing (and,
+    for SELECTs, planning) entirely — the DB-API route is as fast as
+    the native :meth:`Database.prepare` route.
+    """
+
+    _PREPARED_CACHE_SIZE = 64
 
     def __init__(self, database: Database):
         self._db = database
         self._closed = False
+        self._prepared: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+
+    def prepare(self, operation: str) -> PreparedStatement:
+        """Parse *operation* once, caching the handle per connection."""
+        self._check_open()
+        cached = self._prepared.get(operation)
+        if cached is not None:
+            self._prepared.move_to_end(operation)
+            return cached
+        try:
+            statement = self._db.prepare(operation)
+        except SqlError as exc:
+            raise DatabaseError(str(exc)) from exc
+        self._prepared[operation] = statement
+        while len(self._prepared) > self._PREPARED_CACHE_SIZE:
+            self._prepared.popitem(last=False)
+        return statement
 
     @property
     def database(self) -> Database:
@@ -115,10 +141,9 @@ class Cursor:
         self, operation: str, parameters: Optional[Dict[str, Any]] = None
     ) -> "Cursor":
         self._check_open()
+        statement = self._connection.prepare(operation)
         try:
-            self._result = self._connection.database.execute(
-                operation, parameters
-            )
+            self._result = statement.execute(parameters)
         except SqlError as exc:
             raise DatabaseError(str(exc)) from exc
         self._position = 0

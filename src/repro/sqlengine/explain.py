@@ -4,12 +4,18 @@ The translator and benchmarks use this to document which plan shapes
 back the generated queries Q0..Q11 (e.g. that query Q4 runs as a
 pipeline of two hash joins).  The output is a stable, indented tree::
 
-    Project [distinct] (Gid, Bid)
-      HashJoin keys=[S.item = B.item]
-        HashJoin keys=[S.customer = V.customer]
+    Project [distinct] (Gid, Bid) [compiled]
+      HashJoin keys=[S.item = B.item] [compiled]
+        HashJoin keys=[S.customer = V.customer] [compiled]
           Scan MR_Source as S
           Scan MR_ValidGroups as V
         Scan MR_Bset as B
+
+Nodes whose expressions were lowered to closures by
+:mod:`repro.sqlengine.compiler` carry a ``[compiled]`` suffix;
+anything without it runs through the tree-walking interpreter.
+EXPLAIN goes through the same statement/plan caches as execution, so
+explaining a hot query is itself cheap.
 """
 
 from __future__ import annotations
@@ -17,7 +23,6 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from repro.sqlengine import ast_nodes as ast
-from repro.sqlengine.evaluator import Evaluator
 from repro.sqlengine.operators import (
     Filter,
     GroupAggregate,
@@ -29,26 +34,28 @@ from repro.sqlengine.operators import (
     RowsSource,
     TableScan,
 )
-from repro.sqlengine.parser import parse_sql
-from repro.sqlengine.planner import SelectPlanner, conjoin
+from repro.sqlengine.planner import conjoin
 from repro.sqlengine.render import render_expr
+
+
+def _mark(compiled: bool) -> str:
+    return " [compiled]" if compiled else ""
 
 
 def explain(database: Any, sql: str, params: Optional[dict] = None) -> str:
     """Plan *sql* (a SELECT) and return the plan tree as text."""
-    statement = parse_sql(sql)
+    statement = database._parse_statement(sql)
     if not isinstance(statement, ast.Select):
         return f"{type(statement).__name__} (no plan: executed directly)"
     merged = dict(database.variables)
     if params:
         merged.update(params)
     database._params = merged
-    evaluator = Evaluator(database, merged)
-    planner = SelectPlanner(database, evaluator)
-    root, leftovers = planner.plan_from(statement)
+    plan = database._select_plan(statement)
 
     lines: List[str] = []
-    lines.append(_projection_line(statement))
+    project_compiled = plan.projector is not None and plan.projector.compiled
+    lines.append(_projection_line(statement) + _mark(project_compiled))
     indent = 1
     if statement.order_by:
         lines.append("  " * indent + f"Sort ({len(statement.order_by)} keys)")
@@ -60,18 +67,35 @@ def explain(database: Any, sql: str, params: Optional[dict] = None) -> str:
             else ""
         )
         keys = ", ".join(render_expr(e) for e in statement.group_by) or "<all>"
-        lines.append("  " * indent + f"Aggregate keys=({keys}){having}")
-        indent += 1
-    residual = conjoin(leftovers)
-    if residual is not None:
+        aggregate_compiled = isinstance(
+            plan.source, GroupAggregate
+        ) and plan.source.compiled
         lines.append(
-            "  " * indent + f"Filter {render_expr(residual)}"
+            "  " * indent
+            + f"Aggregate keys=({keys}){having}"
+            + _mark(aggregate_compiled)
         )
         indent += 1
-    if root is None:
+    residual = conjoin(plan.leftovers)
+    if residual is not None:
+        if plan.predicate is not None:
+            filter_compiled = plan.predicate.compiled
+        elif isinstance(plan.source, GroupAggregate) and isinstance(
+            plan.source.child, Filter
+        ):
+            filter_compiled = plan.source.child.compiled
+        else:
+            filter_compiled = False
+        lines.append(
+            "  " * indent
+            + f"Filter {render_expr(residual)}"
+            + _mark(filter_compiled)
+        )
+        indent += 1
+    if plan.root is None:
         lines.append("  " * indent + "SingleRow")
     else:
-        _render_operator(root, indent, lines)
+        _render_operator(plan.root, indent, lines)
     return "\n".join(lines)
 
 
@@ -90,6 +114,7 @@ def _projection_line(statement: ast.Select) -> str:
 
 def _render_operator(op: Operator, indent: int, lines: List[str]) -> None:
     pad = "  " * indent
+    mark = _mark(getattr(op, "compiled", False))
     if isinstance(op, TableScan):
         alias = f" as {op.binding}" if op.binding != op.table.name else ""
         lines.append(f"{pad}Scan {op.table.name}{alias} "
@@ -100,20 +125,20 @@ def _render_operator(op: Operator, indent: int, lines: List[str]) -> None:
             for column, expr in zip(op.index.columns, op.key_exprs)
         )
         lines.append(
-            f"{pad}IndexLookup {op.table.name}.{op.index.name} [{keys}]"
+            f"{pad}IndexLookup {op.table.name}.{op.index.name} [{keys}]{mark}"
         )
     elif isinstance(op, RowsSource):
         name = op.frame.sources[0][0] or "<derived>"
         lines.append(f"{pad}Materialized {name} ({len(op.rows)} rows)")
     elif isinstance(op, Filter):
-        lines.append(f"{pad}Filter {render_expr(op.predicate)}")
+        lines.append(f"{pad}Filter {render_expr(op.predicate)}{mark}")
         _render_operator(op.child, indent + 1, lines)
     elif isinstance(op, LeftOuterHashJoin):
-        lines.append(f"{pad}LeftOuterHashJoin {_join_detail(op)}")
+        lines.append(f"{pad}LeftOuterHashJoin {_join_detail(op)}{mark}")
         _render_operator(op.left, indent + 1, lines)
         _render_operator(op.right, indent + 1, lines)
     elif isinstance(op, HashJoin):
-        lines.append(f"{pad}HashJoin {_join_detail(op)}")
+        lines.append(f"{pad}HashJoin {_join_detail(op)}{mark}")
         _render_operator(op.left, indent + 1, lines)
         _render_operator(op.right, indent + 1, lines)
     elif isinstance(op, NestedLoopJoin):
@@ -121,12 +146,12 @@ def _render_operator(op: Operator, indent: int, lines: List[str]) -> None:
             f" on {render_expr(op.predicate)}" if op.predicate is not None
             else ""
         )
-        lines.append(f"{pad}NestedLoopJoin{predicate}")
+        lines.append(f"{pad}NestedLoopJoin{predicate}{mark}")
         _render_operator(op.left, indent + 1, lines)
         _render_operator(op.right, indent + 1, lines)
     elif isinstance(op, GroupAggregate):
         keys = ", ".join(render_expr(k) for k in op.keys) or "<all>"
-        lines.append(f"{pad}Aggregate keys=({keys})")
+        lines.append(f"{pad}Aggregate keys=({keys}){mark}")
         _render_operator(op.child, indent + 1, lines)
     else:  # pragma: no cover - future operators
         lines.append(f"{pad}{type(op).__name__}")

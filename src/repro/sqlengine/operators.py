@@ -6,21 +6,35 @@ yielding :class:`~repro.sqlengine.evaluator.Env` objects.  A frame can
 contain several sources (one per joined table), so column references
 keep their table qualifiers through the pipeline; projection collapses
 the frame into a single anonymous source.
+
+Expressions are bound at construction time through
+:mod:`repro.sqlengine.compiler`: when the engine's
+``compile_expressions`` option is on (the default) predicates and keys
+run as compiled closures with pre-resolved column slots; otherwise (or
+when an expression is not lowerable) they run through the interpreted
+:class:`~repro.sqlengine.evaluator.Evaluator` with identical
+semantics.  Each operator records the outcome in :attr:`compiled` for
+EXPLAIN.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.compiler import ExpressionCompiler, bind_expr, make_key_fn
 from repro.sqlengine.evaluator import Env, Evaluator, Frame
 from repro.sqlengine.table import Table
+
+Row = Tuple[Any, ...]
 
 
 class Operator:
     """Base physical operator."""
 
     frame: Frame
+    #: True when every expression of this node runs compiled
+    compiled: bool = False
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
         """Yield row environments; *parent* is the enclosing scope used
@@ -52,18 +66,23 @@ class IndexLookup(Operator):
     """
 
     def __init__(self, table: Table, binding: str, index, key_exprs,
-                 evaluator):
+                 evaluator, compiler: Optional[ExpressionCompiler] = None):
         self.table = table
         self.binding = binding
         self.index = index
         self.key_exprs = key_exprs
         self.evaluator = evaluator
         self.frame = Frame.single(binding, table.columns)
+        # Keys run against the *outer* scope, whose frame is unknown at
+        # plan time: only self-contained expressions (literals, host
+        # variables, arithmetic over them) compile; outer column
+        # references fall back to the interpreter's parent-env walk.
+        bound = [bind_expr(e, None, evaluator, compiler) for e in key_exprs]
+        self._key_fn = make_key_fn(bound)
+        self.compiled = bool(bound) and all(b.compiled for b in bound)
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
-        key = tuple(
-            self.evaluator.eval(expr, parent) for expr in self.key_exprs
-        )
+        key = self._key_fn(parent)
         if any(value is None for value in key):
             return
         frame = self.frame
@@ -89,17 +108,20 @@ class RowsSource(Operator):
 class Filter(Operator):
     """Keeps rows whose predicate evaluates to TRUE."""
 
-    def __init__(self, child: Operator, predicate: ast.Expression, evaluator: Evaluator):
+    def __init__(self, child: Operator, predicate: ast.Expression,
+                 evaluator: Evaluator,
+                 compiler: Optional[ExpressionCompiler] = None):
         self.child = child
         self.predicate = predicate
         self.evaluator = evaluator
         self.frame = child.frame
+        self._predicate = bind_expr(predicate, child.frame, evaluator, compiler)
+        self.compiled = self._predicate.compiled
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
-        evaluator = self.evaluator
-        predicate = self.predicate
+        predicate = self._predicate.fn
         for env in self.child.envs(parent):
-            if evaluator.eval_predicate(predicate, env):
+            if predicate(env) is True:
                 yield env
 
 
@@ -113,23 +135,31 @@ class NestedLoopJoin(Operator):
         right: Operator,
         evaluator: Evaluator,
         predicate: Optional[ast.Expression] = None,
+        compiler: Optional[ExpressionCompiler] = None,
     ):
         self.left = left
         self.right = right
         self.evaluator = evaluator
         self.predicate = predicate
         self.frame = left.frame.combine(right.frame)
+        self._predicate = (
+            bind_expr(predicate, self.frame, evaluator, compiler)
+            if predicate is not None
+            else None
+        )
+        self.compiled = (
+            self._predicate.compiled if self._predicate is not None else False
+        )
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
-        evaluator = self.evaluator
-        predicate = self.predicate
+        predicate = self._predicate.fn if self._predicate is not None else None
         frame = self.frame
-        right_envs = list(self.right.envs(parent))
+        right_rows = [tuple(env.rows) for env in self.right.envs(parent)]
         for left_env in self.left.envs(parent):
-            for right_env in right_envs:
-                rows = tuple(left_env.rows) + tuple(right_env.rows)
-                env = Env(frame, rows, parent=parent)
-                if predicate is None or evaluator.eval_predicate(predicate, env):
+            left_rows = tuple(left_env.rows)
+            for rows in right_rows:
+                env = Env(frame, left_rows + rows, parent=parent)
+                if predicate is None or predicate(env) is True:
                     yield env
 
 
@@ -149,6 +179,7 @@ class HashJoin(Operator):
         right_keys: List[ast.Expression],
         evaluator: Evaluator,
         residual: Optional[ast.Expression] = None,
+        compiler: Optional[ExpressionCompiler] = None,
     ):
         self.left = left
         self.right = right
@@ -157,25 +188,44 @@ class HashJoin(Operator):
         self.evaluator = evaluator
         self.residual = residual
         self.frame = left.frame.combine(right.frame)
+        left_bound = [bind_expr(k, left.frame, evaluator, compiler)
+                      for k in left_keys]
+        right_bound = [bind_expr(k, right.frame, evaluator, compiler)
+                       for k in right_keys]
+        self._left_key = make_key_fn(left_bound)
+        self._right_key = make_key_fn(right_bound)
+        self._residual = (
+            bind_expr(residual, self.frame, evaluator, compiler)
+            if residual is not None
+            else None
+        )
+        parts = left_bound + right_bound + (
+            [self._residual] if self._residual is not None else []
+        )
+        self.compiled = bool(parts) and all(b.compiled for b in parts)
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
-        evaluator = self.evaluator
-        build: Dict[Tuple[Any, ...], List[Env]] = {}
+        right_key = self._right_key
+        build: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
         for right_env in self.right.envs(parent):
-            key = tuple(evaluator.eval(k, right_env) for k in self.right_keys)
+            key = right_key(right_env)
             if any(v is None for v in key):
                 continue
-            build.setdefault(key, []).append(right_env)
+            build.setdefault(key, []).append(tuple(right_env.rows))
         frame = self.frame
-        residual = self.residual
+        residual = self._residual.fn if self._residual is not None else None
+        left_key = self._left_key
         for left_env in self.left.envs(parent):
-            key = tuple(evaluator.eval(k, left_env) for k in self.left_keys)
+            key = left_key(left_env)
             if any(v is None for v in key):
                 continue
-            for right_env in build.get(key, ()):
-                rows = tuple(left_env.rows) + tuple(right_env.rows)
-                env = Env(frame, rows, parent=parent)
-                if residual is None or evaluator.eval_predicate(residual, env):
+            bucket = build.get(key)
+            if not bucket:
+                continue
+            left_rows = tuple(left_env.rows)
+            for right_rows in bucket:
+                env = Env(frame, left_rows + right_rows, parent=parent)
+                if residual is None or residual(env) is True:
                     yield env
 
 
@@ -191,6 +241,7 @@ class LeftOuterHashJoin(Operator):
         right_keys: List[ast.Expression],
         evaluator: Evaluator,
         residual: Optional[ast.Expression] = None,
+        compiler: Optional[ExpressionCompiler] = None,
     ):
         self.left = left
         self.right = right
@@ -202,30 +253,46 @@ class LeftOuterHashJoin(Operator):
         self._null_rows = tuple(
             tuple([None] * len(columns)) for _, columns in right.frame.sources
         )
+        left_bound = [bind_expr(k, left.frame, evaluator, compiler)
+                      for k in left_keys]
+        right_bound = [bind_expr(k, right.frame, evaluator, compiler)
+                       for k in right_keys]
+        self._left_key = make_key_fn(left_bound)
+        self._right_key = make_key_fn(right_bound)
+        self._residual = (
+            bind_expr(residual, self.frame, evaluator, compiler)
+            if residual is not None
+            else None
+        )
+        parts = left_bound + right_bound + (
+            [self._residual] if self._residual is not None else []
+        )
+        self.compiled = bool(parts) and all(b.compiled for b in parts)
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
-        evaluator = self.evaluator
-        build: Dict[Tuple[Any, ...], List[Env]] = {}
+        right_key = self._right_key
+        build: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
         for right_env in self.right.envs(parent):
-            key = tuple(evaluator.eval(k, right_env) for k in self.right_keys)
+            key = right_key(right_env)
             if any(v is None for v in key):
                 continue
-            build.setdefault(key, []).append(right_env)
+            build.setdefault(key, []).append(tuple(right_env.rows))
         frame = self.frame
-        residual = self.residual
+        residual = self._residual.fn if self._residual is not None else None
+        left_key = self._left_key
+        null_rows = self._null_rows
         for left_env in self.left.envs(parent):
-            key = tuple(evaluator.eval(k, left_env) for k in self.left_keys)
+            key = left_key(left_env)
+            left_rows = tuple(left_env.rows)
             matched = False
             if not any(v is None for v in key):
-                for right_env in build.get(key, ()):
-                    rows = tuple(left_env.rows) + tuple(right_env.rows)
-                    env = Env(frame, rows, parent=parent)
-                    if residual is None or evaluator.eval_predicate(residual, env):
+                for right_rows in build.get(key, ()):
+                    env = Env(frame, left_rows + right_rows, parent=parent)
+                    if residual is None or residual(env) is True:
                         matched = True
                         yield env
             if not matched:
-                rows = tuple(left_env.rows) + self._null_rows
-                yield Env(frame, rows, parent=parent)
+                yield Env(frame, left_rows + null_rows, parent=parent)
 
 
 class GroupAggregate(Operator):
@@ -243,19 +310,23 @@ class GroupAggregate(Operator):
         keys: List[ast.Expression],
         evaluator: Evaluator,
         scalar: bool = False,
+        compiler: Optional[ExpressionCompiler] = None,
     ):
         self.child = child
         self.keys = keys
         self.evaluator = evaluator
         self.scalar = scalar
         self.frame = child.frame
+        bound = [bind_expr(k, child.frame, evaluator, compiler) for k in keys]
+        self._key_fn = make_key_fn(bound)
+        self.compiled = bool(bound) and all(b.compiled for b in bound)
 
     def envs(self, parent: Optional[Env]) -> Iterator[Env]:
-        evaluator = self.evaluator
+        key_fn = self._key_fn
         groups: Dict[Tuple[Any, ...], List[Env]] = {}
         order: List[Tuple[Any, ...]] = []
         for env in self.child.envs(parent):
-            key = tuple(evaluator.eval(k, env) for k in self.keys)
+            key = key_fn(env)
             bucket = groups.get(key)
             if bucket is None:
                 groups[key] = [env]

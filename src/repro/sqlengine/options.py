@@ -3,7 +3,8 @@
 The defaults are what a production engine would do; the switches exist
 so the ablation benchmarks (SYN-6) can quantify what each planner
 feature buys the mining workload — e.g. how much of query Q4's cost
-the hash join removes.
+the hash join removes, or what the compiled expression closures save
+over tree-walk interpretation.
 """
 
 from __future__ import annotations
@@ -19,3 +20,13 @@ class EngineOptions:
     hash_joins: bool = True
     #: push single-table WHERE conjuncts below joins
     filter_pushdown: bool = True
+    #: lower planned expressions to Python closures with pre-resolved
+    #: column slots (else tree-walk interpretation per row)
+    compile_expressions: bool = True
+    #: reuse physical SELECT plans across executions of the same parsed
+    #: statement (invalidated whenever the catalog version changes)
+    plan_cache: bool = True
+    #: LRU capacity of the SQL-text -> parsed-statement cache
+    statement_cache_size: int = 256
+    #: LRU capacity of the plan cache
+    plan_cache_size: int = 256

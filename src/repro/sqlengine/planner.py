@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.compiler import ExpressionCompiler
 from repro.sqlengine.errors import CatalogError, ExecutionError
 from repro.sqlengine.evaluator import Evaluator, Frame
 from repro.sqlengine.operators import (
@@ -68,6 +69,15 @@ class SelectPlanner:
         self._db = database
         self._evaluator = evaluator
         self._options = database.options
+        #: lowers planned expressions to closures (interpreter fallback
+        #: when the compile_expressions option is off)
+        self.compiler = ExpressionCompiler(
+            evaluator, enabled=self._options.compile_expressions
+        )
+        #: False when the plan snapshots data at plan time (views and
+        #: derived tables materialize into a RowsSource), making it
+        #: unsafe to reuse across executions
+        self.cacheable = True
 
     # -- source planning -----------------------------------------------------
 
@@ -143,6 +153,7 @@ class SelectPlanner:
                     right_keys,
                     self._evaluator,
                     residual=conjoin(residual),
+                    compiler=self.compiler,
                 )
             else:
                 root = NestedLoopJoin(
@@ -150,6 +161,7 @@ class SelectPlanner:
                     sources[idx].operator,
                     self._evaluator,
                     predicate=conjoin(residual),
+                    compiler=self.compiler,
                 )
 
         leftovers = [conjunct for _, conjunct in remaining] + deferred
@@ -160,6 +172,7 @@ class SelectPlanner:
             return SourceInfo(self._plan_table(source))
         if isinstance(source, ast.SubquerySource):
             columns, rows = self._db._run_select_raw(source.select)
+            self.cacheable = False
             return SourceInfo(RowsSource(source.alias, columns, rows))
         if isinstance(source, ast.Join):
             return SourceInfo(self._plan_join(source))
@@ -172,6 +185,7 @@ class SelectPlanner:
         if catalog.has_view(source.name):
             view = catalog.get_view(source.name)
             columns, rows = self._db._run_select_raw(view.select)
+            self.cacheable = False
             return RowsSource(source.binding, columns, rows)
         raise CatalogError(f"no such table or view: {source.name!r}")
 
@@ -197,6 +211,7 @@ class SelectPlanner:
                 right_keys,
                 self._evaluator,
                 residual=conjoin(residual),
+                compiler=self.compiler,
             )
         if equi:
             return HashJoin(
@@ -206,9 +221,14 @@ class SelectPlanner:
                 right_keys,
                 self._evaluator,
                 residual=conjoin(residual),
+                compiler=self.compiler,
             )
         return NestedLoopJoin(
-            left.operator, right.operator, self._evaluator, predicate=conjoin(residual)
+            left.operator,
+            right.operator,
+            self._evaluator,
+            predicate=conjoin(residual),
+            compiler=self.compiler,
         )
 
     # -- conjunct classification ----------------------------------------------
@@ -259,7 +279,9 @@ class SelectPlanner:
         if isinstance(operator, TableScan):
             operator, conjuncts = self._try_index_lookup(operator, conjuncts)
         for conjunct in conjuncts:
-            operator = Filter(operator, conjunct, self._evaluator)
+            operator = Filter(
+                operator, conjunct, self._evaluator, compiler=self.compiler
+            )
         return SourceInfo(operator)
 
     def _try_index_lookup(
@@ -293,7 +315,8 @@ class SelectPlanner:
         used = {id(equalities[c][0]) for c in columns}
         key_exprs = [equalities[c][1] for c in columns]
         lookup = IndexLookup(
-            table, scan.binding, best, key_exprs, self._evaluator
+            table, scan.binding, best, key_exprs, self._evaluator,
+            compiler=self.compiler,
         )
         rest = [c for c in conjuncts if id(c) not in used]
         return lookup, rest
