@@ -4,7 +4,14 @@ Each module regenerates one experiment of DESIGN.md's index (FIG1,
 FIG2a/b, FIG3, FIG4, SYN-1..SYN-5).  Benchmarks *assert* the reproduced
 artifact (so a wrong reproduction fails, not just slows down) and
 measure the relevant phase with pytest-benchmark.
+
+PR-scoped benches additionally record a machine-readable artifact
+(``BENCH_PR<n>.json`` at the repo root) via :func:`bench_report`.
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -14,6 +21,33 @@ from repro.datagen import (
     load_purchase_figure1,
     load_quest,
 )
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: quick mode (CI smoke): shrink workloads, relax speedup floors
+BENCH_QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+
+def bench_report(filename):
+    """Create a module-level benchmark report: returns ``(report,
+    fixture)`` where *report* is the dict the module's tests fill in
+    and *fixture* is a module-scoped autouse fixture writing it as
+    JSON to ``<repo root>/<filename>`` once the module finishes.
+
+    Usage (module scope)::
+
+        REPORT, write_report = bench_report("BENCH_PRn.json")
+    """
+    report = {}
+    path = REPO_ROOT / filename
+
+    @pytest.fixture(scope="module", autouse=True)
+    def _write_report():
+        yield
+        if report:
+            path.write_text(json.dumps(report, indent=2) + "\n")
+
+    return report, _write_report
 
 PAPER_STATEMENT = """
 MINE RULE FilteredOrderedSets AS

@@ -13,26 +13,17 @@ b) **Per-row throughput**: a filter + join + group query over a few
    with byte-identical results.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks.conftest import bench_report
 from repro.sqlengine import Database, EngineOptions
 
-REPORT = {}
-REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+REPORT, write_report = bench_report("BENCH_PR1.json")
 
 ROWS = 4_000
 GROUPS = 200
-
-
-@pytest.fixture(scope="module", autouse=True)
-def write_report():
-    yield
-    if REPORT:
-        REPORT_PATH.write_text(json.dumps(REPORT, indent=2) + "\n")
 
 
 def build_db(options=None):

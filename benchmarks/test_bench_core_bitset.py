@@ -1,0 +1,183 @@
+"""PR2 — the vertical bitset mining core, measured against the
+set-based baseline it replaced.
+
+Three scenarios, asserted (a wrong speedup ratio or a result mismatch
+fails, not just slows down) and recorded to ``BENCH_PR2.json``:
+
+a) **General-core lattice**: the m x n rule lattice over a clustered
+   sequential-rule statement, triple sets as packed bitmaps vs. the
+   original tuple sets.  Identical ordered rule lists, and the bitset
+   path must be at least 2x faster — joins are big-int ``&`` and
+   distinct-group support counts are mask-and-popcount instead of a
+   set comprehension per join pair.
+b) **Pool algorithms**: the vertical ``eclat`` member (diffsets) vs.
+   levelwise Apriori over a Quest basket workload, plus Apriori's own
+   set-vs-bitset gid-list switch.  Identical ``ItemsetCounts``.
+c) **Core input loading**: ``CoreInputLoader.load_general`` row
+   decoding (tuple unpacking per branch, previously ``list``/``pop``
+   per row) — recorded so regressions in the decode loop are visible.
+
+``BENCH_QUICK=1`` (the CI smoke mode) shrinks every workload and
+relaxes the speedup floors to sanity thresholds.
+"""
+
+import math
+import time
+
+from benchmarks.conftest import BENCH_QUICK, bench_report
+from repro import Database
+from repro.algorithms.apriori import Apriori
+from repro.algorithms.eclat import Eclat
+from repro.datagen import (
+    QuestParameters,
+    generate_quest,
+    load_purchase_synthetic,
+)
+from repro.kernel.core.general import GeneralCoreOperator
+from repro.kernel.core.inputs import CoreInputLoader
+from repro.kernel.preprocessor import Preprocessor
+from repro.kernel.translator import Translator
+
+REPORT, write_report = bench_report("BENCH_PR2.json")
+
+# a SYN-3-shaped sequential-rule statement: clustered groups, ordered
+# cluster pairs, full m x n lattice
+STATEMENT = """
+MINE RULE SeqRules AS
+SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, SUPPORT, CONFIDENCE
+FROM Purchase
+GROUP BY customer
+CLUSTER BY date HAVING BODY.date < HEAD.date
+EXTRACTING RULES WITH SUPPORT: 0.08, CONFIDENCE: 0.1
+"""
+
+if BENCH_QUICK:
+    PURCHASE = dict(customers=60, days=5, transactions_per_customer=4,
+                    items_per_transaction=4, catalog_size=30)
+    LATTICE_FLOOR = 1.05
+    QUEST = QuestParameters(transactions=200, avg_transaction_size=8,
+                            items=100, patterns=40, seed=77)
+    ECLAT_FLOOR = 1.0
+    APRIORI_FLOOR = 0.8
+else:
+    PURCHASE = dict(customers=200, days=6, transactions_per_customer=6,
+                    items_per_transaction=6, catalog_size=30)
+    LATTICE_FLOOR = 2.0
+    QUEST = QuestParameters(transactions=800, avg_transaction_size=10,
+                            items=150, patterns=60, seed=77)
+    ECLAT_FLOOR = 2.0
+    APRIORI_FLOOR = 1.2
+QUEST_SUPPORT = 0.03
+
+
+def _best_of(fn, runs=3):
+    best = math.inf
+    result = None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def build_general_input():
+    db = Database()
+    load_purchase_synthetic(db, **PURCHASE)
+    program = Translator(db).translate(STATEMENT)
+    Preprocessor(db).run(program)
+    loader = CoreInputLoader(db, program.core)
+    return loader, program
+
+
+class TestGeneralCoreLatticeSpeedup:
+    def test_bitset_vs_set_triple_sets(self, benchmark):
+        loader, program = build_general_input()
+        data = loader.load_general()
+        runs = 1 if BENCH_QUICK else 2
+
+        set_op = GeneralCoreOperator(representation="set")
+        bitset_op = GeneralCoreOperator(representation="bitset")
+        set_seconds, set_rules = _best_of(
+            lambda: set_op.run(data, program.core), runs
+        )
+        bitset_seconds, bitset_rules = _best_of(
+            lambda: bitset_op.run(data, program.core), runs
+        )
+        # bit-identical mining, representation-independent lattice work
+        assert bitset_rules == set_rules
+        assert bitset_op.lattice_sizes == set_op.lattice_sizes
+        assert bitset_op.join_pairs_examined == set_op.join_pairs_examined
+
+        speedup = set_seconds / bitset_seconds
+        REPORT["general_core_lattice"] = {
+            "workload": dict(PURCHASE),
+            "quick": BENCH_QUICK,
+            "rules": len(set_rules),
+            "join_pairs_examined": bitset_op.join_pairs_examined,
+            "universe_sizes": dict(bitset_op.bitmap_stats.universe_sizes),
+            "set_seconds": round(set_seconds, 6),
+            "bitset_seconds": round(bitset_seconds, 6),
+            "speedup": round(speedup, 2),
+        }
+        # the acceptance floor for this PR: packed triple bitmaps must
+        # buy >= 2x on the lattice (relaxed in quick mode)
+        assert speedup >= LATTICE_FLOOR, (
+            f"general-core bitset speedup only {speedup:.2f}x"
+        )
+        benchmark(lambda: bitset_op.run(data, program.core))
+
+
+class TestPoolEclatVsApriori:
+    def test_vertical_vs_levelwise(self, benchmark):
+        baskets = generate_quest(QUEST)
+        min_count = max(1, math.ceil(QUEST_SUPPORT * len(baskets)))
+        miners = {
+            "apriori_set": Apriori(representation="set"),
+            "apriori_bitset": Apriori(),
+            "eclat_diffsets": Eclat(),
+            "eclat_tidsets": Eclat(diffsets=False),
+        }
+        seconds, counts = {}, {}
+        for label, miner in miners.items():
+            seconds[label], counts[label] = _best_of(
+                lambda m=miner: m.mine(baskets, min_count)
+            )
+        reference = counts["apriori_set"]
+        assert all(result == reference for result in counts.values())
+
+        eclat_speedup = seconds["apriori_set"] / seconds["eclat_diffsets"]
+        apriori_speedup = seconds["apriori_set"] / seconds["apriori_bitset"]
+        REPORT["pool_eclat"] = {
+            "workload": {
+                "transactions": QUEST.transactions,
+                "avg_transaction_size": QUEST.avg_transaction_size,
+                "items": QUEST.items,
+                "min_count": min_count,
+            },
+            "quick": BENCH_QUICK,
+            "frequent_itemsets": len(reference),
+            "seconds": {k: round(v, 6) for k, v in seconds.items()},
+            "eclat_vs_set_apriori": round(eclat_speedup, 2),
+            "bitset_vs_set_apriori": round(apriori_speedup, 2),
+        }
+        assert eclat_speedup >= ECLAT_FLOOR, (
+            f"eclat speedup only {eclat_speedup:.2f}x"
+        )
+        assert apriori_speedup >= APRIORI_FLOOR, (
+            f"apriori bitset speedup only {apriori_speedup:.2f}x"
+        )
+        benchmark(lambda: miners["eclat_diffsets"].mine(baskets, min_count))
+
+
+class TestLoaderRowDecode:
+    def test_load_general_decode(self, benchmark):
+        loader, _program = build_general_input()
+        seconds, data = _best_of(loader.load_general)
+        assert data.body_items and data.clustered
+        REPORT["loader_load_general"] = {
+            "workload": dict(PURCHASE),
+            "quick": BENCH_QUICK,
+            "groups": data.totg,
+            "seconds": round(seconds, 6),
+        }
+        benchmark(loader.load_general)

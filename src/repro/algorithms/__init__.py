@@ -15,7 +15,15 @@ never on the real source.  This package provides that pool:
 * :class:`~repro.algorithms.partition.Partition` — the two-scan
   partitioned algorithm of Savasere, Omiecinski & Navathe [VLDB 1995];
 * :class:`~repro.algorithms.sampling.ToivonenSampling` — the
-  sampling + negative-border algorithm of Toivonen [VLDB 1996].
+  sampling + negative-border algorithm of Toivonen [VLDB 1996];
+* :class:`~repro.algorithms.eclat.Eclat` — depth-first vertical mining
+  over packed gid bitmaps with diffset pruning [Zaki, TKDE 2000; Zaki
+  & Gouda, KDD 2003].
+
+The gid-list algorithms run on the packed-bitset representation of
+:mod:`repro.algorithms.bitset` by default (intersection is ``&``,
+support counting is ``int.bit_count``); ``representation="set"``
+selects the original layout for differential testing.
 
 All algorithms return the identical, exact answer: every itemset whose
 group count reaches the threshold, with its exact count (this is the
@@ -32,7 +40,14 @@ from repro.algorithms.base import (
     get_algorithm,
     register_algorithm,
 )
+from repro.algorithms.bitset import (
+    REPRESENTATIONS,
+    BitsetStats,
+    GroupedUniverse,
+    SlotUniverse,
+)
 from repro.algorithms.dhp import DirectHashingPruning
+from repro.algorithms.eclat import Eclat
 from repro.algorithms.exhaustive import Exhaustive
 from repro.algorithms.partition import Partition
 from repro.algorithms.sampling import ToivonenSampling
@@ -47,7 +62,12 @@ __all__ = [
     "Apriori",
     "AprioriTid",
     "AutoSelect",
+    "BitsetStats",
+    "Eclat",
+    "GroupedUniverse",
     "InputStatistics",
+    "REPRESENTATIONS",
+    "SlotUniverse",
     "select_algorithm",
     "DirectHashingPruning",
     "Exhaustive",

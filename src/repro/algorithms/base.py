@@ -13,6 +13,8 @@ import abc
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple, Type
 
+from repro.algorithms.bitset import SlotUniverse, item_bitmaps
+
 #: encoded input: group id -> set of item ids present in the group
 GroupMap = Mapping[int, FrozenSet[int]]
 
@@ -49,13 +51,27 @@ class FrequentItemsetMiner(abc.ABC):
 
         This is the "associated list that contains identifiers of
         groups in which the itemset is present" of Section 4.3.1,
-        for singleton itemsets.
+        for singleton itemsets.  (Set-based path; the default bitset
+        path uses :meth:`item_gid_bitmaps`.)
         """
         lists: Dict[int, Set[int]] = {}
         for gid, items in groups.items():
             for item in items:
                 lists.setdefault(item, set()).add(gid)
         return lists
+
+    @staticmethod
+    def item_gid_bitmaps(
+        groups: GroupMap, universe: "SlotUniverse"
+    ) -> Dict[int, int]:
+        """Invert the group map into packed gid bitmaps: item id ->
+        big-int bitmap over *universe* slots.
+
+        The vertical counterpart of :meth:`item_gid_lists`: itemset
+        support lists become ``&`` of bitmaps, support counts become
+        :meth:`int.bit_count`.
+        """
+        return item_bitmaps(groups.items(), universe)
 
     @staticmethod
     def join_candidates(

@@ -11,6 +11,12 @@ as new seeds (here: a full Apriori run, preserving exactness).
 
 The sample and therefore the runtime are randomized; the *result* never
 is.  A fixed ``seed`` keeps runs reproducible.
+
+The verification pass counts every candidate (local itemsets plus the
+negative border) over the whole input: on the default ``"bitset"``
+representation that is AND-and-popcount over the items' gid bitmaps;
+``"set"`` keeps the original horizontal rescan for differential
+testing.
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ from repro.algorithms.base import (
     GroupMap,
     ItemsetCounts,
     register_algorithm,
+)
+from repro.algorithms.bitset import (
+    BitsetStats,
+    SlotUniverse,
+    validate_representation,
 )
 
 
@@ -45,6 +56,7 @@ class ToivonenSampling(FrequentItemsetMiner):
         sample_fraction: float = 0.5,
         lowering: float = 0.8,
         seed: int = 12345,
+        representation: str = "bitset",
     ):
         if not 0 < sample_fraction <= 1:
             raise ValueError("sample_fraction must be in (0, 1]")
@@ -53,13 +65,17 @@ class ToivonenSampling(FrequentItemsetMiner):
         self.sample_fraction = sample_fraction
         self.lowering = lowering
         self.seed = seed
+        self.representation = validate_representation(representation)
         #: observability: True when the last run needed the fallback pass
         self.last_run_failed = False
+        #: observability: bitmap counters of the last run
+        self.stats = BitsetStats()
 
     def mine(self, groups: GroupMap, min_count: int) -> ItemsetCounts:
         if min_count < 1:
             raise ValueError(f"min_count must be >= 1, got {min_count}")
         self.last_run_failed = False
+        self.stats.clear()
         if not groups:
             return {}
         total = len(groups)
@@ -74,20 +90,18 @@ class ToivonenSampling(FrequentItemsetMiner):
         sample_min = max(
             1, math.floor(self.lowering * fraction * sample_size)
         )
-        local = Apriori().mine(sample, sample_min)
+        miner = Apriori(representation=self.representation)
+        local = miner.mine(sample, sample_min)
+        self.stats.merge(miner.stats)
         local_sets = set(local.keys())
 
         candidates = local_sets | self.negative_border(local_sets, groups)
 
-        counts: Dict[FrozenSet[int], int] = {c: 0 for c in candidates}
-        for items in groups.values():
-            for candidate in candidates:
-                if candidate <= items:
-                    counts[candidate] += 1
-
         frequent = {
             candidate: count
-            for candidate, count in counts.items()
+            for candidate, count in self._count_candidates(
+                groups, candidates
+            ).items()
             if count >= min_count
         }
         border_failures = [
@@ -97,8 +111,41 @@ class ToivonenSampling(FrequentItemsetMiner):
             # The sample missed part of the answer: fall back to an
             # exact full pass so the result stays complete.
             self.last_run_failed = True
-            return Apriori().mine(groups, min_count)
+            fallback = Apriori(representation=self.representation)
+            result = fallback.mine(groups, min_count)
+            self.stats.merge(fallback.stats)
+            return result
         return frequent
+
+    def _count_candidates(
+        self, groups: GroupMap, candidates: Set[FrozenSet[int]]
+    ) -> Dict[FrozenSet[int], int]:
+        """Exact counts of *candidates* over the whole input."""
+        if self.representation == "set":
+            counts: Dict[FrozenSet[int], int] = {c: 0 for c in candidates}
+            for items in groups.values():
+                for candidate in candidates:
+                    if candidate <= items:
+                        counts[candidate] += 1
+            return counts
+        universe = SlotUniverse(groups)
+        item_maps = self.item_gid_bitmaps(groups, universe)
+        self.stats.universe_sizes["gid"] = len(universe)
+        counts = {}
+        for candidate in candidates:
+            mask = -1
+            for item in candidate:
+                bitmap = item_maps.get(item)
+                if bitmap is None:
+                    mask = 0
+                    break
+                mask &= bitmap
+                self.stats.intersections += 1
+                if not mask:
+                    break
+            self.stats.popcount_calls += 1
+            counts[candidate] = mask.bit_count() if mask > 0 else 0
+        return counts
 
     @staticmethod
     def negative_border(

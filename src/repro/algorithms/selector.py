@@ -11,6 +11,9 @@ testable heuristic over cheap statistics of the encoded input:
   -> DHP, whose hash filter prunes the explosive pair-candidate level;
 * many groups with low density -> Partition, which bounds passes over
   the large input;
+* moderately dense groups -> Eclat, whose depth-first vertical search
+  over gid bitmaps avoids the levelwise candidate churn once itemsets
+  grow past pairs;
 * otherwise              -> Apriori with gid-lists (the default that
   wins on memory-resident data).
 
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 from repro.algorithms.apriori import Apriori
 from repro.algorithms.base import FrequentItemsetMiner, GroupMap
 from repro.algorithms.dhp import DirectHashingPruning
+from repro.algorithms.eclat import Eclat
 from repro.algorithms.partition import Partition
 
 
@@ -60,6 +64,9 @@ _TINY_GROUPS = 50
 _DENSE_AVERAGE = 12.0
 #: group count beyond which pass-bounding pays off on sparse data
 _MANY_GROUPS = 5_000
+#: average group size beyond which deep itemsets appear and the
+#: depth-first vertical search (Eclat over gid bitmaps) pays off
+_VERTICAL_AVERAGE = 6.0
 
 
 def select_algorithm(
@@ -72,6 +79,8 @@ def select_algorithm(
         return DirectHashingPruning()
     if statistics.groups >= _MANY_GROUPS:
         return Partition()
+    if statistics.average_group_size >= _VERTICAL_AVERAGE:
+        return Eclat()
     return Apriori()
 
 

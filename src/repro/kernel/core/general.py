@@ -15,6 +15,22 @@ intersects the parents' triple sets, which is *exact*:
 and ``B2 x H`` are.  This is the lattice counterpart of the group-id
 lists of Section 4.3.1.
 
+Two physical layouts of the triple sets are available behind the same
+semantics (``representation=``):
+
+* ``"bitset"`` (default) — triples are densely re-indexed into
+  contiguous bit slots, grouped per gid with a guard bit per group
+  (:class:`repro.algorithms.bitset.GroupedUniverse`); a rule's support
+  set is one big int, the join intersection is ``&``, and counting the
+  *distinct groups* of a rule is mask-and-popcount over the universe's
+  precomputed group anchors.  The body-count index packs ``(gid, body
+  cluster)`` occurrences the same way.
+* ``"set"`` — the original ``set``-of-tuples layout, kept selectable
+  for differential testing and the ablation bench.
+
+Both produce bit-identical rule lists; only the join/count machinery
+differs.
+
 Elementary rules come either from the ``InputRules`` table (when the
 mining condition was evaluated in SQL by queries Q8-Q10) or are derived
 here from ``CodedSource`` + ``ClusterCouples``: "the core operator
@@ -33,8 +49,13 @@ Figure 2b exactly (confidence 0.5 for {jackets} => {col_shirts}).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro.algorithms.bitset import (
+    BitsetStats,
+    GroupedUniverse,
+    validate_representation,
+)
 from repro.kernel.core.inputs import GeneralInput
 from repro.kernel.core.rules import CONFIDENCE_EPSILON as _EPSILON
 from repro.kernel.core.rules import EncodedRule
@@ -44,7 +65,10 @@ from repro.kernel.program import CoreDirectives
 RuleKey = Tuple[Tuple[int, ...], Tuple[int, ...]]
 #: a supporting occurrence: (group id, body cluster id, head cluster id)
 Triple = Tuple[int, int, int]
-RuleSet = Dict[RuleKey, Set[Triple]]
+#: a rule's support: a set of triples, or a bitmap over triple slots —
+#: both intersect with ``&``
+Support = Union[Set[Triple], int]
+RuleSet = Dict[RuleKey, Support]
 
 
 #: how _compute_set picks the parent when both exist (the "smaller"
@@ -61,25 +85,44 @@ class GeneralCoreOperator:
     ("start from the set with lower cardinality"), ``"body"``/"head"``
     always prefer the body/head parent — all three are correct, the
     heuristic only affects the join work.
+
+    ``representation`` selects the physical triple-set layout (see the
+    module docstring); the mined rules are identical either way.
     """
 
-    def __init__(self, parent_strategy: str = "smaller") -> None:
+    def __init__(
+        self,
+        parent_strategy: str = "smaller",
+        representation: str = "bitset",
+    ) -> None:
         if parent_strategy not in PARENT_STRATEGIES:
             raise ValueError(
                 f"unknown parent strategy {parent_strategy!r}; "
                 f"choose from {PARENT_STRATEGIES}"
             )
         self.parent_strategy = parent_strategy
+        self.representation = validate_representation(representation)
         #: observability: number of rules per lattice set, keyed (m, n)
         self.lattice_sizes: Dict[Tuple[int, int], int] = {}
         #: observability: join-candidate pairs examined during expansion
         self.join_pairs_examined = 0
+        #: observability: bitmap counters of the last run (bitset mode)
+        self.bitmap_stats = BitsetStats()
+        #: bitset mode: triple-slot universe of the current run
+        self._triples: Optional[GroupedUniverse] = None
+        #: bitset mode: (gid, body cluster) universe for body counts
+        self._body_pairs: Optional[GroupedUniverse] = None
 
     def run(
         self, data: GeneralInput, directives: CoreDirectives
     ) -> List[EncodedRule]:
         self.lattice_sizes = {}
         self.join_pairs_examined = 0
+        self.bitmap_stats.clear()
+        self._triples = (
+            GroupedUniverse() if self.representation == "bitset" else None
+        )
+        self._body_pairs = None
         elementary = self._elementary_rules(data)
         elementary = self._prune(elementary, data.min_count)
         self.lattice_sizes[(1, 1)] = len(elementary)
@@ -105,13 +148,24 @@ class GeneralCoreOperator:
                     )
             frontier = next_frontier
 
-        return self._emit(lattice, data, directives)
+        rules = self._emit(lattice, data, directives)
+        if self._triples is not None:
+            stats = self.bitmap_stats
+            stats.universe_sizes["triple"] = len(self._triples)
+            if self._body_pairs is not None:
+                stats.universe_sizes["body_pair"] = len(self._body_pairs)
+            stats.popcount_calls += self._triples.group_count_calls
+            if self._body_pairs is not None:
+                stats.popcount_calls += self._body_pairs.group_count_calls
+        return rules
 
     # ------------------------------------------------------------------
     # elementary rules
     # ------------------------------------------------------------------
 
     def _elementary_rules(self, data: GeneralInput) -> RuleSet:
+        if self._triples is not None:
+            return self._elementary_bitmaps(data)
         supports: RuleSet = {}
         if data.elementary is not None:
             # Precomputed in SQL (queries Q8..Q10).
@@ -139,12 +193,48 @@ class GeneralCoreOperator:
                         supports.setdefault(key, set()).add(triple)
         return supports
 
-    @staticmethod
-    def _prune(rules: RuleSet, min_count: int) -> RuleSet:
+    def _elementary_bitmaps(self, data: GeneralInput) -> RuleSet:
+        """Bitset-mode elementary rules: triple slots are interned in
+        gid order (contiguous spans per group), support sets are
+        bitmaps over those slots."""
+        triples = self._triples
+        assert triples is not None
+        supports: Dict[RuleKey, int] = {}
+        get = supports.get
+        if data.elementary is not None:
+            # Precomputed in SQL; sort so each gid's slots stay
+            # contiguous regardless of the table's row order.
+            for gid, bcid, hcid, bid, hid in sorted(data.elementary):
+                bit = 1 << triples.slot((gid, bcid, hcid))
+                key = ((bid,), (hid,))
+                supports[key] = get(key, 0) | bit
+            return supports
+
+        # Derived here: lazy cartesian product within valid cluster
+        # pairs, one gid at a time (preserving slot contiguity).
+        for gid in data.body_items:
+            body_clusters = data.body_items.get(gid, {})
+            head_clusters = data.head_items.get(gid, {})
+            for bc, hc in data.group_cluster_pairs(gid):
+                body_ids = body_clusters.get(bc)
+                head_ids = head_clusters.get(hc)
+                if not body_ids or not head_ids:
+                    continue
+                exclude_equal = data.same_schema and bc == hc
+                bit = 1 << triples.slot((gid, bc, hc))
+                for bid in body_ids:
+                    for hid in head_ids:
+                        if exclude_equal and bid == hid:
+                            continue
+                        key = ((bid,), (hid,))
+                        supports[key] = get(key, 0) | bit
+        return supports
+
+    def _prune(self, rules: RuleSet, min_count: int) -> RuleSet:
         return {
-            key: triples
-            for key, triples in rules.items()
-            if len({gid for gid, _, _ in triples}) >= min_count
+            key: support
+            for key, support in rules.items()
+            if self._group_count(support) >= min_count
         }
 
     # ------------------------------------------------------------------
@@ -191,10 +281,10 @@ class GeneralCoreOperator:
         """(m, n) -> (m+1, n): join rules sharing head and body prefix."""
         siblings: Dict[
             Tuple[Tuple[int, ...], Tuple[int, ...]],
-            List[Tuple[Tuple[int, ...], Set[Triple]]],
+            List[Tuple[Tuple[int, ...], Support]],
         ] = {}
-        for (body, head), triples in rules.items():
-            siblings.setdefault((head, body[:-1]), []).append((body, triples))
+        for (body, head), support in rules.items():
+            siblings.setdefault((head, body[:-1]), []).append((body, support))
         out: RuleSet = {}
         for (head, _prefix), entries in siblings.items():
             entries.sort(key=lambda e: e[0])
@@ -210,10 +300,10 @@ class GeneralCoreOperator:
         """(m, n) -> (m, n+1): join rules sharing body and head prefix."""
         siblings: Dict[
             Tuple[Tuple[int, ...], Tuple[int, ...]],
-            List[Tuple[Tuple[int, ...], Set[Triple]]],
+            List[Tuple[Tuple[int, ...], Support]],
         ] = {}
-        for (body, head), triples in rules.items():
-            siblings.setdefault((body, head[:-1]), []).append((head, triples))
+        for (body, head), support in rules.items():
+            siblings.setdefault((body, head[:-1]), []).append((head, support))
         out: RuleSet = {}
         for (body, _prefix), entries in siblings.items():
             entries.sort(key=lambda e: e[0])
@@ -225,9 +315,11 @@ class GeneralCoreOperator:
                     out[(body, new_head)] = shared
         return out
 
-    @staticmethod
-    def _group_count(triples: Set[Triple]) -> int:
-        return len({gid for gid, _, _ in triples})
+    def _group_count(self, support: Support) -> int:
+        """Distinct groups in a rule's support set."""
+        if self._triples is not None:
+            return self._triples.group_count(support)
+        return len({gid for gid, _, _ in support})
 
     # ------------------------------------------------------------------
     # rule emission
@@ -252,8 +344,8 @@ class GeneralCoreOperator:
                 continue
             if n < head_min or (head_max is not None and n > head_max):
                 continue
-            for (body, head), triples in rule_set.items():
-                support_count = self._group_count(triples)
+            for (body, head), support in rule_set.items():
+                support_count = self._group_count(support)
                 body_count = self._body_count(
                     body, body_occurrences, body_count_cache
                 )
@@ -277,11 +369,23 @@ class GeneralCoreOperator:
         rules.sort(key=EncodedRule.key)
         return rules
 
-    @staticmethod
     def _body_occurrence_index(
-        data: GeneralInput,
-    ) -> Dict[int, Set[Tuple[int, int]]]:
-        """item id -> set of (group, body cluster) containing it."""
+        self, data: GeneralInput
+    ) -> Dict[int, Union[Set[Tuple[int, int]], int]]:
+        """item id -> occurrences as (group, body cluster): a tuple set
+        in set mode, a bitmap over the (gid, cid) universe in bitset
+        mode (interned per gid, preserving span contiguity)."""
+        if self.representation == "bitset":
+            pairs = GroupedUniverse()
+            self._body_pairs = pairs
+            bitmap_index: Dict[int, int] = {}
+            get = bitmap_index.get
+            for gid, clusters in data.body_items.items():
+                for cid, items in clusters.items():
+                    bit = 1 << pairs.slot((gid, cid))
+                    for bid in items:
+                        bitmap_index[bid] = get(bid, 0) | bit
+            return bitmap_index
         index: Dict[int, Set[Tuple[int, int]]] = {}
         for gid, clusters in data.body_items.items():
             for cid, items in clusters.items():
@@ -292,13 +396,29 @@ class GeneralCoreOperator:
     def _body_count(
         self,
         body: Tuple[int, ...],
-        occurrences: Dict[int, Set[Tuple[int, int]]],
+        occurrences: Dict[int, Union[Set[Tuple[int, int]], int]],
         cache: Dict[Tuple[int, ...], int],
     ) -> int:
         """Groups where all body items co-occur in one body cluster."""
         cached = cache.get(body)
         if cached is not None:
             return cached
+        if self._body_pairs is not None:
+            shared = -1
+            for bid in body:
+                bitmap = occurrences.get(bid)
+                if not bitmap:
+                    shared = 0
+                    break
+                shared &= bitmap
+                self.bitmap_stats.intersections += 1
+                if not shared:
+                    break
+            count = (
+                self._body_pairs.group_count(shared) if shared > 0 else 0
+            )
+            cache[body] = count
+            return count
         sets = [occurrences.get(bid, set()) for bid in body]
         if not sets or any(not s for s in sets):
             cache[body] = 0

@@ -109,18 +109,49 @@ class CoreInputLoader:
             f"SELECT {', '.join(columns)} FROM {directives.coded_source}"
         )
 
+        # One tuple-unpacking loop per statement shape: the row layout
+        # is fixed by the SELECT above, so per-row list copies and
+        # pops only re-discover what the directives already say.
         body_items: Dict[int, Dict[int, Set[int]]] = {}
         head_items: Dict[int, Dict[int, Set[int]]] = {}
-        for row in rows:
-            values = list(row)
-            gid = values.pop(0)
-            cid = values.pop(0) if clustered else WHOLE_GROUP_CLUSTER
-            bid = values.pop(0)
-            hid = values.pop(0) if has_hid else bid
-            if bid is not None:
-                body_items.setdefault(gid, {}).setdefault(cid, set()).add(bid)
-            if hid is not None:
-                head_items.setdefault(gid, {}).setdefault(cid, set()).add(hid)
+        if clustered and has_hid:
+            for gid, cid, bid, hid in rows:
+                if bid is not None:
+                    body_items.setdefault(gid, {}).setdefault(
+                        cid, set()
+                    ).add(bid)
+                if hid is not None:
+                    head_items.setdefault(gid, {}).setdefault(
+                        cid, set()
+                    ).add(hid)
+        elif clustered:
+            for gid, cid, bid in rows:
+                if bid is not None:
+                    body_items.setdefault(gid, {}).setdefault(
+                        cid, set()
+                    ).add(bid)
+                    head_items.setdefault(gid, {}).setdefault(
+                        cid, set()
+                    ).add(bid)
+        elif has_hid:
+            for gid, bid, hid in rows:
+                if bid is not None:
+                    body_items.setdefault(gid, {}).setdefault(
+                        WHOLE_GROUP_CLUSTER, set()
+                    ).add(bid)
+                if hid is not None:
+                    head_items.setdefault(gid, {}).setdefault(
+                        WHOLE_GROUP_CLUSTER, set()
+                    ).add(hid)
+        else:
+            for gid, bid in rows:
+                if bid is not None:
+                    body_items.setdefault(gid, {}).setdefault(
+                        WHOLE_GROUP_CLUSTER, set()
+                    ).add(bid)
+                    head_items.setdefault(gid, {}).setdefault(
+                        WHOLE_GROUP_CLUSTER, set()
+                    ).add(bid)
 
         cluster_pairs: Optional[Dict[int, Set[Tuple[int, int]]]] = None
         if directives.cluster_couples is not None:

@@ -1,4 +1,4 @@
-"""Rule-quality measures beyond support and confidence.
+"""Rule-quality measures and core-operator observability.
 
 The MINE RULE operator reports support and confidence; interestingness
 research contemporary with the paper added *lift* (interest),
@@ -12,18 +12,94 @@ cannot do.  This module is a documented extension (DESIGN.md §7).
 Group-counting conventions match the core operator: a group counts for
 an itemset iff all its items co-occur within one (body- or head-side)
 cluster.
+
+:class:`CoreStats` collects what the core operator observed during one
+run — lattice set sizes, join pairs examined, bitmap universe sizes
+and popcount calls — so the process trace and the text report can
+surface them instead of leaving them operator-local.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.kernel.core.inputs import CoreInputLoader
 from repro.kernel.core.rules import CONFIDENCE_EPSILON, EncodedRule
 from repro.kernel.program import TranslationProgram
 from repro.sqlengine.engine import Database
+
+
+@dataclass
+class CoreStats:
+    """Observability counters of one core-operator run.
+
+    ``variant`` is ``"simple"`` or ``"general"``; ``representation``
+    is the physical support-set layout (``"bitset"``/``"set"``);
+    ``algorithm`` names the pool member (simple variant only).
+    ``lattice_sizes``/``join_pairs_examined`` mirror the general
+    operator's counters; ``universe_sizes``/``popcount_calls``/
+    ``intersections`` come from the bitmap kernel.
+    """
+
+    variant: str = "simple"
+    representation: str = "bitset"
+    algorithm: Optional[str] = None
+    lattice_sizes: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    join_pairs_examined: int = 0
+    universe_sizes: Dict[str, int] = field(default_factory=dict)
+    popcount_calls: int = 0
+    intersections: int = 0
+
+    @classmethod
+    def from_general(cls, operator) -> "CoreStats":
+        """Collect from a :class:`GeneralCoreOperator` after a run."""
+        stats = operator.bitmap_stats
+        return cls(
+            variant="general",
+            representation=operator.representation,
+            lattice_sizes=dict(operator.lattice_sizes),
+            join_pairs_examined=operator.join_pairs_examined,
+            universe_sizes=dict(stats.universe_sizes),
+            popcount_calls=stats.popcount_calls,
+            intersections=stats.intersections,
+        )
+
+    @classmethod
+    def from_simple(cls, algorithm) -> "CoreStats":
+        """Collect from a pool algorithm after a simple-core run."""
+        stats = getattr(algorithm, "stats", None)
+        return cls(
+            variant="simple",
+            representation=getattr(algorithm, "representation", "bitset"),
+            algorithm=algorithm.name,
+            universe_sizes=dict(stats.universe_sizes) if stats else {},
+            popcount_calls=stats.popcount_calls if stats else 0,
+            intersections=stats.intersections if stats else 0,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for the process trace."""
+        parts = [f"{self.variant} core, {self.representation} sets"]
+        if self.algorithm:
+            parts.append(f"algorithm {self.algorithm}")
+        if self.lattice_sizes:
+            total = sum(self.lattice_sizes.values())
+            parts.append(
+                f"{len(self.lattice_sizes)} lattice sets / {total} rules"
+            )
+        if self.join_pairs_examined:
+            parts.append(f"{self.join_pairs_examined} join pairs")
+        if self.universe_sizes:
+            sizes = ", ".join(
+                f"{label}={size}"
+                for label, size in sorted(self.universe_sizes.items())
+            )
+            parts.append(f"universes {sizes}")
+        if self.popcount_calls:
+            parts.append(f"{self.popcount_calls} popcounts")
+        return "; ".join(parts)
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.algorithms import FrequentItemsetMiner, get_algorithm
+from repro.algorithms.bitset import validate_representation
 from repro.kernel.core.general import GeneralCoreOperator
+from repro.kernel.metrics import CoreStats
 from repro.kernel.core.inputs import CoreInputLoader
 from repro.kernel.core.rules import EncodedRule
 from repro.kernel.core.simple import SimpleCoreOperator
@@ -50,6 +52,8 @@ class MiningResult:
     flow: ProcessFlow
     #: True when encoded tables were reused from a previous execution
     preprocessing_reused: bool = False
+    #: core-operator observability (lattice sizes, bitmap counters)
+    core_stats: Optional[CoreStats] = None
 
     @property
     def directives(self):
@@ -83,10 +87,20 @@ class MiningSystem:
         database: Optional[Database] = None,
         algorithm: Union[str, FrequentItemsetMiner] = "apriori",
         reuse_preprocessing: bool = True,
+        representation: str = "bitset",
     ):
         self.db = database if database is not None else Database()
+        self.representation = validate_representation(representation)
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
+        if (
+            self.representation != "bitset"
+            and hasattr(algorithm, "representation")
+        ):
+            # gid-list pool members honour the switch; vertical-only
+            # members (eclat) and horizontal ones (dhp, exhaustive)
+            # have no set/bitset distinction to toggle
+            algorithm.representation = self.representation
         self.algorithm = algorithm
         self.reuse_preprocessing = reuse_preprocessing
         self._translator = Translator(self.db)
@@ -164,9 +178,12 @@ class MiningSystem:
                 f"{len(data.groups)} encoded groups",
             )
             encoded_rules = operator.run(data, program.core)
+            core_stats = CoreStats.from_simple(self.algorithm)
         else:
             general_data = loader.load_general()
-            general = GeneralCoreOperator()
+            general = GeneralCoreOperator(
+                representation=self.representation
+            )
             flow.event(
                 "core",
                 "general core processing",
@@ -175,7 +192,9 @@ class MiningSystem:
                 else "elementary rules derived from CodedSource",
             )
             encoded_rules = general.run(general_data, program.core)
+            core_stats = CoreStats.from_general(general)
         flow.event("core", "extracted rules", f"{len(encoded_rules)} rules")
+        flow.event("core", "observability", core_stats.describe())
         flow.stop()
 
         # -- postprocessor -----------------------------------------------
@@ -200,6 +219,7 @@ class MiningSystem:
             preprocess_stats=stats,
             flow=flow,
             preprocessing_reused=reused,
+            core_stats=core_stats,
         )
 
     # ------------------------------------------------------------------

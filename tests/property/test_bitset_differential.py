@@ -1,0 +1,212 @@
+"""Differential tests for the packed-bitset representation (PR 2).
+
+Two contracts, both bit-identical by construction and enforced here:
+
+* every registered pool algorithm — including the vertical ``eclat``
+  member — returns the same :data:`ItemsetCounts` as the set-based
+  Apriori reference over randomized group maps;
+* the general core operator emits the same ordered ``EncodedRule``
+  list whether its triple sets are Python ``set`` objects or packed
+  bitmaps, over randomized clustered inputs (derived elementary rules,
+  ``ClusterCouples`` restrictions, and SQL-precomputed ``InputRules``).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.algorithms.apriori import Apriori
+from repro.kernel.core.general import GeneralCoreOperator
+from repro.kernel.core.inputs import GeneralInput
+from repro.kernel.program import CoreDirectives
+
+group_maps = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=30),
+    values=st.frozensets(st.integers(min_value=0, max_value=7), max_size=6),
+    max_size=12,
+)
+
+thresholds = st.integers(min_value=1, max_value=5)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestPoolAgreesWithSetBasedReference:
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_itemset_counts(self, name, groups, min_count):
+        reference = Apriori(representation="set").mine(groups, min_count)
+        assert get_algorithm(name).mine(groups, min_count) == reference
+
+
+class TestGidListAlgorithmsHonourTheSwitch:
+    @pytest.mark.parametrize(
+        "name", ["apriori", "aprioritid", "partition", "sampling"]
+    )
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=20, deadline=None)
+    def test_set_path_matches_bitset_path(self, name, groups, min_count):
+        bitset = get_algorithm(name, representation="bitset")
+        sets = get_algorithm(name, representation="set")
+        assert bitset.mine(groups, min_count) == sets.mine(
+            groups, min_count
+        )
+
+
+# ---------------------------------------------------------------------------
+# general core: randomized clustered inputs
+# ---------------------------------------------------------------------------
+
+item_sets = st.sets(st.integers(min_value=0, max_value=5), max_size=4)
+
+
+@st.composite
+def clustered_inputs(draw):
+    """A random :class:`GeneralInput` (derived-elementary path) plus
+    matching :class:`CoreDirectives`."""
+    same_schema = draw(st.booleans())
+    n_groups = draw(st.integers(min_value=1, max_value=6))
+    body_items, head_items = {}, {}
+    for gid in range(1, n_groups + 1):
+        clusters = draw(st.integers(min_value=1, max_value=3))
+        body, head = {}, {}
+        for cid in range(1, clusters + 1):
+            bids = draw(item_sets)
+            if bids:
+                body[cid] = set(bids)
+            if same_schema:
+                if bids:
+                    head[cid] = set(bids)
+            else:
+                hids = draw(item_sets)
+                if hids:
+                    head[cid] = set(hids)
+        if body:
+            body_items[gid] = body
+        if head:
+            head_items[gid] = head
+
+    cluster_pairs = None
+    if draw(st.booleans()):
+        cluster_pairs = {}
+        for gid in set(body_items) | set(head_items):
+            pairs = draw(
+                st.sets(
+                    st.tuples(
+                        st.integers(min_value=1, max_value=3),
+                        st.integers(min_value=1, max_value=3),
+                    ),
+                    max_size=4,
+                )
+            )
+            if pairs:
+                cluster_pairs[gid] = pairs
+
+    data = GeneralInput(
+        totg=n_groups,
+        min_count=draw(st.integers(min_value=1, max_value=3)),
+        same_schema=same_schema,
+        clustered=True,
+        body_items=body_items,
+        head_items=head_items,
+        cluster_pairs=cluster_pairs,
+        elementary=None,
+    )
+    directives = _directives(
+        draw,
+        same_schema=same_schema,
+        cluster_condition=cluster_pairs is not None,
+        mining_condition=False,
+    )
+    return data, directives
+
+
+@st.composite
+def elementary_inputs(draw):
+    """A random :class:`GeneralInput` with SQL-precomputed elementary
+    rules (the ``InputRules`` path, queries Q8..Q10)."""
+    n_groups = draw(st.integers(min_value=1, max_value=6))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=n_groups),  # gid
+                st.integers(min_value=1, max_value=2),  # bcid
+                st.integers(min_value=1, max_value=2),  # hcid
+                st.integers(min_value=0, max_value=5),  # bid
+                st.integers(min_value=0, max_value=5),  # hid
+            ),
+            max_size=30,
+        )
+    )
+    # body occurrences must cover the rules' bodies for confidence
+    body_items = {}
+    for gid, bcid, _hcid, bid, _hid in rows:
+        body_items.setdefault(gid, {}).setdefault(bcid, set()).add(bid)
+    data = GeneralInput(
+        totg=n_groups,
+        min_count=draw(st.integers(min_value=1, max_value=3)),
+        same_schema=False,
+        clustered=True,
+        body_items=body_items,
+        head_items={},
+        cluster_pairs=None,
+        elementary=rows,
+    )
+    directives = _directives(
+        draw, same_schema=False, cluster_condition=False,
+        mining_condition=True,
+    )
+    return data, directives
+
+
+def _directives(draw, same_schema, cluster_condition, mining_condition):
+    body_max = draw(st.sampled_from([None, 2, 3]))
+    head_max = draw(st.sampled_from([None, 2]))
+    return CoreDirectives(
+        simple=False,
+        same_schema=same_schema,
+        clustered=True,
+        cluster_condition=cluster_condition,
+        mining_condition=mining_condition,
+        coded_source="CS",
+        cluster_couples="CC" if cluster_condition else None,
+        input_rules="IR" if mining_condition else None,
+        min_support=0.0,
+        min_confidence=draw(st.sampled_from([0.0, 0.3, 1.0])),
+        body_card=(1, body_max),
+        head_card=(1, head_max),
+    )
+
+
+class TestGeneralCoreRepresentations:
+    @given(case=clustered_inputs())
+    @settings(max_examples=50, deadline=None)
+    def test_derived_elementary_rules_identical(self, case):
+        data, directives = case
+        set_rules = GeneralCoreOperator(representation="set").run(
+            data, directives
+        )
+        bitset_op = GeneralCoreOperator(representation="bitset")
+        bitset_rules = bitset_op.run(data, directives)
+        assert bitset_rules == set_rules
+
+    @given(case=elementary_inputs())
+    @settings(max_examples=50, deadline=None)
+    def test_input_rules_path_identical(self, case):
+        data, directives = case
+        set_op = GeneralCoreOperator(representation="set")
+        bitset_op = GeneralCoreOperator(representation="bitset")
+        assert bitset_op.run(data, directives) == set_op.run(
+            data, directives
+        )
+
+    @given(case=clustered_inputs())
+    @settings(max_examples=20, deadline=None)
+    def test_observability_counters_match(self, case):
+        """Lattice shape and join work are representation-independent."""
+        data, directives = case
+        set_op = GeneralCoreOperator(representation="set")
+        bitset_op = GeneralCoreOperator(representation="bitset")
+        set_op.run(data, directives)
+        bitset_op.run(data, directives)
+        assert bitset_op.lattice_sizes == set_op.lattice_sizes
+        assert bitset_op.join_pairs_examined == set_op.join_pairs_examined

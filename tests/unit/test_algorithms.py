@@ -126,6 +126,7 @@ class TestRegistry:
             "aprioritid",
             "auto",
             "dhp",
+            "eclat",
             "exhaustive",
             "partition",
             "sampling",

@@ -1,0 +1,196 @@
+"""Unit tests for the packed-bitset kernel, the eclat pool member and
+the representation switch through the system facade (PR 2)."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.apriori import Apriori
+from repro.algorithms.bitset import (
+    BitsetStats,
+    GroupedUniverse,
+    SlotUniverse,
+    iter_slots,
+    validate_representation,
+)
+from repro.algorithms.eclat import Eclat
+from repro.algorithms.selector import InputStatistics, select_algorithm
+from repro.kernel.core.general import GeneralCoreOperator
+
+
+def groups_of(*itemsets):
+    return {gid: frozenset(items) for gid, items in enumerate(itemsets, 1)}
+
+
+EXAMPLE = groups_of({1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3})
+
+
+class TestSlotUniverse:
+    def test_slots_assigned_in_first_appearance_order(self):
+        universe = SlotUniverse(["c", "a", "b"])
+        assert universe.slot("c") == 0
+        assert universe.slot("a") == 1
+        assert universe.slot("b") == 2
+        assert universe.slot("c") == 0  # stable on re-intern
+        assert len(universe) == 3
+
+    def test_mask_and_members_roundtrip(self):
+        universe = SlotUniverse()
+        mask = universe.mask([10, 30, 20])
+        assert mask == 0b111
+        assert universe.members(mask) == [10, 30, 20]
+        assert universe.members(universe.mask([20])) == [20]
+
+    def test_contains(self):
+        universe = SlotUniverse([1])
+        assert 1 in universe
+        assert 2 not in universe
+
+    def test_iter_slots(self):
+        assert list(iter_slots(0b101001)) == [0, 3, 5]
+        assert list(iter_slots(0)) == []
+
+
+class TestGroupedUniverse:
+    def test_group_count_counts_distinct_keys(self):
+        universe = GroupedUniverse()
+        mask = universe.mask(
+            [(1, "a"), (1, "b"), (2, "a"), (3, "x"), (3, "y")]
+        )
+        assert universe.group_count(mask) == 3
+        # subset hitting two groups
+        sub = (1 << universe.slot((1, "b"))) | (1 << universe.slot((3, "y")))
+        assert universe.group_count(sub) == 2
+        assert universe.group_count(0) == 0
+
+    def test_non_contiguous_interning_rejected(self):
+        universe = GroupedUniverse([(1, "a"), (2, "a")])
+        with pytest.raises(ValueError, match="non-contiguously"):
+            universe.slot((1, "b"))
+
+    def test_group_count_calls_counter(self):
+        universe = GroupedUniverse([(1, "a")])
+        universe.group_count(1)
+        universe.group_count(0)
+        assert universe.group_count_calls == 2
+
+
+class TestRepresentationValidation:
+    def test_unknown_representation_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="representation"):
+            validate_representation("roaring")
+        with pytest.raises(ValueError):
+            Apriori(representation="roaring")
+        with pytest.raises(ValueError):
+            GeneralCoreOperator(representation="roaring")
+        from repro import MiningSystem
+
+        with pytest.raises(ValueError):
+            MiningSystem(representation="roaring")
+
+    def test_stats_merge_and_clear(self):
+        a = BitsetStats(universe_sizes={"gid": 5}, popcount_calls=2)
+        b = BitsetStats(universe_sizes={"gid": 9}, intersections=3)
+        a.merge(b)
+        assert a.universe_sizes == {"gid": 9}
+        assert a.popcount_calls == 2 and a.intersections == 3
+        a.clear()
+        assert a.universe_sizes == {} and a.popcount_calls == 0
+
+
+class TestEclat:
+    def test_matches_apriori(self):
+        expected = Apriori().mine(EXAMPLE, 2)
+        assert Eclat().mine(EXAMPLE, 2) == expected
+
+    def test_tidset_mode_matches_diffset_mode(self):
+        assert Eclat(diffsets=False).mine(EXAMPLE, 2) == Eclat(
+            diffsets=True
+        ).mine(EXAMPLE, 2)
+
+    def test_registered_in_pool(self):
+        assert isinstance(get_algorithm("eclat"), Eclat)
+
+    def test_min_count_validated(self):
+        with pytest.raises(ValueError):
+            Eclat().mine(EXAMPLE, 0)
+
+    def test_records_bitmap_stats(self):
+        miner = Eclat()
+        miner.mine(EXAMPLE, 2)
+        assert miner.stats.universe_sizes["gid"] == len(EXAMPLE)
+        assert miner.stats.popcount_calls > 0
+
+    def test_deep_itemsets(self):
+        # every group shares the same 5 items -> full power set frequent
+        groups = {gid: frozenset(range(5)) for gid in range(1, 4)}
+        counts = Eclat().mine(groups, 3)
+        assert len(counts) == 2**5 - 1
+        assert all(count == 3 for count in counts.values())
+
+    def test_selector_routes_moderately_dense_inputs_to_eclat(self):
+        stats = InputStatistics(
+            groups=500, distinct_items=100, total_entries=4_000
+        )  # average 8 items/group
+        assert isinstance(select_algorithm(stats, min_count=5), Eclat)
+
+
+class TestSystemRepresentationSwitch:
+    STATEMENT = (
+        "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, "
+        "1..1 item AS HEAD, SUPPORT, CONFIDENCE FROM Purchase "
+        "GROUP BY customer "
+        "EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.5"
+    )
+    CLUSTERED = (
+        "MINE RULE C AS SELECT DISTINCT 1..n item AS BODY, "
+        "1..n item AS HEAD, SUPPORT, CONFIDENCE FROM Purchase "
+        "GROUP BY customer CLUSTER BY date "
+        "EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.2"
+    )
+
+    def _run(self, statement, **kwargs):
+        from repro import MiningSystem
+        from repro.datagen import load_purchase_figure1
+
+        system = MiningSystem(**kwargs)
+        load_purchase_figure1(system.db)
+        return system.execute(statement)
+
+    def test_simple_core_identical_across_representations(self):
+        bitset = self._run(self.STATEMENT)
+        sets = self._run(self.STATEMENT, representation="set")
+        assert bitset.rule_set() == sets.rule_set()
+        assert bitset.core_stats.representation == "bitset"
+        assert sets.core_stats.representation == "set"
+
+    def test_general_core_identical_across_representations(self):
+        bitset = self._run(self.CLUSTERED)
+        sets = self._run(self.CLUSTERED, representation="set")
+        assert bitset.encoded_rules == sets.encoded_rules
+        assert bitset.core_stats.variant == "general"
+        assert bitset.core_stats.lattice_sizes
+        assert (
+            bitset.core_stats.lattice_sizes
+            == sets.core_stats.lattice_sizes
+        )
+
+    def test_core_stats_surfaced_in_trace_and_report(self):
+        from repro.report import render_report
+        from repro import MiningSystem
+        from repro.datagen import load_purchase_figure1
+
+        system = MiningSystem()
+        load_purchase_figure1(system.db)
+        result = system.execute(self.CLUSTERED)
+        rendered = result.flow.render()
+        assert "observability" in rendered
+        assert "general core" in rendered
+        report_text = render_report(system, result)
+        assert "lattice sets:" in report_text
+        assert "bitmaps:" in report_text
+
+    def test_general_bitmap_stats_populated(self):
+        result = self._run(self.CLUSTERED)
+        stats = result.core_stats
+        assert stats.universe_sizes.get("triple", 0) > 0
+        assert stats.popcount_calls > 0
