@@ -28,11 +28,38 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_QUICK = bool(os.environ.get("BENCH_QUICK"))
 
 
+def load_report(path):
+    """Read a previously written ``BENCH_*.json``; a missing file,
+    unreadable bytes, corrupt JSON or a non-object document all come
+    back as ``{}`` — a bad artifact from an interrupted run must never
+    take the bench suite down."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return document if isinstance(document, dict) else {}
+
+
+def merge_report(path, report):
+    """Merge *report* over the file's prior entries and rewrite it.
+
+    Merging (rather than overwriting) keeps entries from earlier
+    partial runs — e.g. a ``-k``-filtered bench invocation — alive in
+    the artifact."""
+    merged = load_report(path)
+    merged.update(report)
+    Path(path).write_text(json.dumps(merged, indent=2) + "\n",
+                          encoding="utf-8")
+    return merged
+
+
 def bench_report(filename):
     """Create a module-level benchmark report: returns ``(report,
     fixture)`` where *report* is the dict the module's tests fill in
-    and *fixture* is a module-scoped autouse fixture writing it as
-    JSON to ``<repo root>/<filename>`` once the module finishes.
+    and *fixture* is a module-scoped autouse fixture merging it into
+    ``<repo root>/<filename>`` once the module finishes.  A missing or
+    corrupt prior file is treated as empty.
 
     Usage (module scope)::
 
@@ -45,7 +72,7 @@ def bench_report(filename):
     def _write_report():
         yield
         if report:
-            path.write_text(json.dumps(report, indent=2) + "\n")
+            merge_report(path, report)
 
     return report, _write_report
 

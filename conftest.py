@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Lives at the rootdir so its options are registered before any test
+package loads (plugin options must be defined in a root conftest).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the checked-in golden output files from the "
+        "current run instead of comparing against them",
+    )

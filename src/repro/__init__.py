@@ -25,9 +25,18 @@ Quickstart::
         print(rule)
 """
 
+from repro.faults import FaultError, FaultSchedule, RetryPolicy
 from repro.sqlengine import Database
 from repro.system import MiningResult, MiningSystem
 
 __version__ = "1.0.0"
 
-__all__ = ["Database", "MiningResult", "MiningSystem", "__version__"]
+__all__ = [
+    "Database",
+    "FaultError",
+    "FaultSchedule",
+    "MiningResult",
+    "MiningSystem",
+    "RetryPolicy",
+    "__version__",
+]

@@ -28,6 +28,9 @@ commands start with a dot:
 ``.restore DIR``       load a previously dumped database
 ``.experiments``       run the full reproduction suite (FIG/SYN)
 ``.timing on|off``     print per-statement wall time
+``.faults [SPEC]``     show resilience counters of the last run, or
+                       install a fault schedule (``off`` to remove;
+                       spec: ``site:call[*times][@latency],...``)
 ``.quit``              leave the shell
 =====================  ==================================================
 """
@@ -39,6 +42,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro import faults
 from repro.algorithms import ALGORITHMS
 from repro.datagen import (
     QuestParameters,
@@ -48,6 +52,7 @@ from repro.datagen import (
     load_quest,
     load_telecom,
 )
+from repro.faults import FaultError, FaultSchedule, RetryPolicy
 from repro.minerule.errors import MineRuleError
 from repro.sqlengine.errors import SqlError
 from repro.system import MiningSystem
@@ -69,8 +74,17 @@ class Shell:
     shell fully testable without capturing stdout.
     """
 
-    def __init__(self, algorithm: str = "apriori"):
-        self.system = MiningSystem(algorithm=algorithm)
+    def __init__(
+        self,
+        algorithm: str = "apriori",
+        retry_policy: Optional[RetryPolicy] = None,
+        resume: bool = False,
+    ):
+        self.system = MiningSystem(
+            algorithm=algorithm, retry_policy=retry_policy
+        )
+        #: resume MINE RULE statements from crash checkpoints
+        self.resume = resume
         self.timing = False
         self._buffer: List[str] = []
         #: result of the last MINE RULE statement (for ``.report``)
@@ -118,6 +132,12 @@ class Shell:
                     f"({elapsed:.1f} ms)"
                 )
             return output
+        except FaultError as exc:
+            return (
+                f"error: {exc}\n"
+                f"(injected fault survived retries; "
+                f"re-run with --resume to continue from the checkpoint)"
+            )
         except (SqlError, MineRuleError, KeyError, ValueError) as exc:
             return f"error: {exc}"
 
@@ -130,7 +150,7 @@ class Shell:
         return f"ok ({result.rowcount} rows affected)"
 
     def _mine(self, text: str) -> str:
-        result = self.system.execute(text)
+        result = self.system.run(text, resume=self.resume)
         self.last_result = result
         out = result.statement.output_table
         lines = [
@@ -138,6 +158,8 @@ class Shell:
             f"{len(result.rules)} rules -> {out}, {out}_Bodies, "
             f"{out}_Heads, {out}_Display",
         ]
+        if result.resilience is not None and result.resilience.any():
+            lines.append(f"resilience: {result.resilience.describe()}")
         if self.db.catalog.has_table(f"{out}_Display"):
             lines.append(self.db.table(f"{out}_Display").pretty(limit=25))
         return "\n".join(lines)
@@ -226,6 +248,31 @@ class Shell:
         if command == ".timing":
             self.timing = argument.lower() == "on"
             return f"timing {'on' if self.timing else 'off'}"
+        if command == ".faults":
+            if argument.lower() == "off":
+                faults.uninstall()
+                return "fault schedule removed"
+            if argument:
+                faults.install(FaultSchedule.parse(argument))
+                return f"fault schedule installed: {argument}"
+            schedule = faults.active()
+            lines = []
+            if schedule is not None:
+                lines.append(
+                    f"active schedule: {len(schedule.specs)} spec(s), "
+                    f"{schedule.errors_injected} error(s) and "
+                    f"{schedule.latencies_injected} latency fault(s) fired"
+                )
+            else:
+                lines.append("no fault schedule installed")
+            if (
+                self.last_result is not None
+                and self.last_result.resilience is not None
+            ):
+                lines.append(
+                    f"last run: {self.last_result.resilience.describe()}"
+                )
+            return "\n".join(lines)
         if command in (".quit", ".exit", ".q"):
             raise EOFError
         return f"unknown command {command!r}; try .help"
@@ -248,9 +295,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=sorted(ALGORITHMS),
         help="pool algorithm for simple rules",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume MINE RULE statements from crash checkpoints",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry faulted pipeline stages up to N attempts "
+        "(capped exponential backoff)",
+    )
+    parser.add_argument(
+        "--fault-schedule", default=None, metavar="SPEC",
+        help="install a deterministic fault schedule, e.g. "
+        "'preprocessor.Q4:1;engine.execute:3*2' or 'seed=42' "
+        "for a random one",
+    )
     args = parser.parse_args(argv)
 
-    shell = Shell(algorithm=args.algorithm)
+    if args.fault_schedule:
+        spec = args.fault_schedule
+        if spec.startswith("seed="):
+            faults.install(FaultSchedule.random(int(spec[5:])))
+        else:
+            faults.install(FaultSchedule.parse(spec))
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retries)
+        if args.retries is not None
+        else None
+    )
+    shell = Shell(
+        algorithm=args.algorithm,
+        retry_policy=retry_policy,
+        resume=args.resume,
+    )
     if args.command or args.file:
         statements = list(args.command)
         if args.file:

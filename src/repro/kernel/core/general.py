@@ -51,6 +51,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro import faults
 from repro.algorithms.bitset import (
     BitsetStats,
     GroupedUniverse,
@@ -251,6 +252,7 @@ class GeneralCoreOperator:
         """Compute rule set *target* once, from its smaller parent."""
         if target in lattice:
             return
+        faults.check("core.lattice")
         m, n = target
         parents: List[Tuple[Tuple[int, int], str]] = []
         if m >= 2 and (m - 1, n) in lattice:

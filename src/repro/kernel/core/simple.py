@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, List, Optional
 
+from repro import faults
 from repro.algorithms.base import FrequentItemsetMiner
 from repro.kernel.core.inputs import SimpleInput
 from repro.kernel.core.rules import CONFIDENCE_EPSILON as _EPSILON
@@ -38,6 +39,7 @@ class SimpleCoreOperator:
         The returned list is sorted by (body, head) identifiers so that
         downstream output tables are deterministic.
         """
+        faults.check("core.simple")
         counts = self.algorithm.mine(data.groups, data.min_count)
         rules = self._build_rules(counts, data.totg, directives)
         rules.sort(key=EncodedRule.key)

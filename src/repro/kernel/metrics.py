@@ -102,6 +102,51 @@ class CoreStats:
         return "; ".join(parts)
 
 
+@dataclass
+class ResilienceStats:
+    """Fault/retry/resume counters of one pipeline run.
+
+    Filled by ``MiningSystem.run``: injected faults come from the
+    active :class:`~repro.faults.FaultSchedule` delta, retries from the
+    :class:`~repro.faults.RetryPolicy` callbacks, resumed stages from
+    the checkpoint skip path, and ``degraded`` lists every graceful
+    fallback taken (compiled expressions -> interpreter, bitset ->
+    set representation).
+    """
+
+    faults_injected: int = 0
+    latencies_injected: int = 0
+    retries: int = 0
+    stages_resumed: int = 0
+    degraded: List[str] = field(default_factory=list)
+
+    @property
+    def degradations(self) -> int:
+        return len(self.degraded)
+
+    def any(self) -> bool:
+        """True when anything noteworthy happened (report gating)."""
+        return bool(
+            self.faults_injected
+            or self.latencies_injected
+            or self.retries
+            or self.stages_resumed
+            or self.degraded
+        )
+
+    def describe(self) -> str:
+        """One-line summary for the process trace."""
+        parts = [
+            f"faults {self.faults_injected}",
+            f"latency faults {self.latencies_injected}",
+            f"retries {self.retries}",
+            f"stages resumed {self.stages_resumed}",
+        ]
+        if self.degraded:
+            parts.append(f"degraded: {', '.join(self.degraded)}")
+        return "; ".join(parts)
+
+
 @dataclass(frozen=True)
 class RuleMetrics:
     """Extended measures for one encoded rule.

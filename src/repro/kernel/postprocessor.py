@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.kernel.core.rules import EncodedRule
 from repro.kernel.program import TranslationProgram
 from repro.sqlengine.engine import Database
@@ -50,6 +51,7 @@ class Postprocessor:
         Identical bodies (heads) share one identifier, so the auxiliary
         tables stay normalized.
         """
+        faults.check("postprocessor.store")
         statement = program.statement
         names = program.workspace
         out = statement.output_table
@@ -111,7 +113,16 @@ class Postprocessor:
 
     def decode(self, program: TranslationProgram) -> None:
         """Run the translator's postprocessing queries, then build the
-        display table."""
+        display table.
+
+        Idempotent: the decode outputs are dropped first, so a retried
+        or resumed decode cannot duplicate rows in ``<out>_Bodies`` /
+        ``<out>_Heads``.
+        """
+        faults.check("postprocessor.decode")
+        out = program.statement.output_table
+        for table in (f"{out}_Bodies", f"{out}_Heads", f"{out}_Display"):
+            self._db.catalog.drop_table(table, if_exists=True)
         for query in program.postprocessing:
             self._db.execute(query.sql)
         self._build_display(program)

@@ -10,16 +10,30 @@ work happens inside the SQL server.  The only host-language glue is the
 computation of ``:mingroups`` from ``:totg`` after query Q1 — the
 integer group-count threshold corresponding to the statement's minimum
 support (Appendix A binds it as a host variable).
+
+Resilience: each setup/preprocessing query is one retryable stage.  A
+fault-injection check (site ``preprocessor.<label>``) runs at query
+entry, a :class:`~repro.faults.RetryPolicy` re-attempts injected
+failures with capped backoff, and a
+:class:`~repro.kernel.program.StageCheckpoint` records every completed
+query (plus the host variables and encoded-table snapshot) so a
+resumed run skips the queries whose output tables already exist.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from repro import faults
+from repro.faults import RetryPolicy
 from repro.kernel.core.inputs import min_group_count
-from repro.kernel.program import TranslationProgram, TranslationQuery
+from repro.kernel.program import (
+    StageCheckpoint,
+    TranslationProgram,
+    TranslationQuery,
+)
 from repro.kernel.trace import ProcessFlow
 from repro.sqlengine.engine import Database
 
@@ -39,6 +53,10 @@ class PreprocessStats:
     #: physical-plan cache hits/misses during this run
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: queries skipped because a resume checkpoint marked them complete
+    queries_skipped: int = 0
+    #: query re-attempts taken by the retry policy
+    retries: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -55,31 +73,46 @@ class Preprocessor:
         self,
         program: TranslationProgram,
         flow: Optional[ProcessFlow] = None,
+        checkpoint: Optional[StageCheckpoint] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> PreprocessStats:
         """Execute the translation program's setup + preprocessing
-        queries in order; returns execution statistics."""
+        queries in order; returns execution statistics.
+
+        With a *checkpoint*, completed queries are skipped (their host
+        variables restored from the checkpoint) and each newly
+        completed query is recorded; with a *policy*, injected faults
+        are retried per query.
+        """
         stats = PreprocessStats()
+        policy = policy if policy is not None else RetryPolicy.single()
         before = self._db.cache_stats.snapshot()
 
-        for query in program.setup:
-            self._db.execute(query.sql)
+        completed = checkpoint.completed_queries if checkpoint else set()
+        if checkpoint is not None and checkpoint.host_variables:
+            self._db.variables.update(checkpoint.host_variables)
 
-        for query in program.preprocessing:
-            # Prepared execution: repeated runs of the same translation
-            # program hit the engine's statement and plan caches.
-            prepared = self._db.prepare(query.sql)
-            started = time.perf_counter()
-            prepared.execute()
-            elapsed = time.perf_counter() - started
-            stats.query_seconds[query.label] = (
-                stats.query_seconds.get(query.label, 0.0) + elapsed
-            )
-            if flow is not None:
-                flow.event("preprocessor", f"ran {query.label}", query.purpose)
-            if query.label == "Q1":
-                self._bind_mingroups(program, stats, flow)
+        setup_count = len(program.setup)
+        for index, (key, query) in enumerate(program.query_keys()):
+            quiet = index < setup_count  # setup stays out of the trace
+            if key in completed:
+                stats.queries_skipped += 1
+                if flow is not None and not quiet:
+                    flow.event(
+                        "preprocessor",
+                        f"skipped {query.label} (resume)",
+                        query.purpose,
+                    )
+                continue
+            self._run_query(key, query, program, stats, flow, checkpoint,
+                            policy, quiet)
 
         self._collect_table_sizes(program, stats)
+        if stats.totg == 0 and "totg" in self._db.variables:
+            # All of Q1/Q3 were skipped on resume: report the restored
+            # host variables instead of zeros.
+            stats.totg = int(self._db.variables["totg"])
+            stats.mingroups = int(self._db.variables.get("mingroups", 0))
         after = self._db.cache_stats
         stats.statement_cache_hits = after.statement_hits - before.statement_hits
         stats.statement_cache_misses = (
@@ -90,6 +123,53 @@ class Preprocessor:
         return stats
 
     # ------------------------------------------------------------------
+
+    def _run_query(
+        self,
+        key: str,
+        query: TranslationQuery,
+        program: TranslationProgram,
+        stats: PreprocessStats,
+        flow: Optional[ProcessFlow],
+        checkpoint: Optional[StageCheckpoint],
+        policy: RetryPolicy,
+        quiet: bool = False,
+    ) -> None:
+        def attempt() -> None:
+            # The fault site fires at query entry — before the engine
+            # touches any state — so a retry re-runs the query exactly
+            # once against unchanged tables.
+            faults.check(f"preprocessor.{query.label}")
+            # Prepared execution: repeated runs of the same translation
+            # program hit the engine's statement and plan caches.
+            self._db.prepare(query.sql).execute()
+
+        def on_retry(stage: str, attempt_no: int, exc: Exception,
+                     delay: float) -> None:
+            stats.retries += 1
+            if flow is not None:
+                flow.bump("retries")
+                flow.event(
+                    "preprocessor",
+                    "retry",
+                    f"{stage} attempt {attempt_no} failed ({exc}); "
+                    f"backing off {delay * 1000:.1f} ms",
+                )
+
+        started = time.perf_counter()
+        policy.execute(attempt, stage=f"preprocessor.{query.label}",
+                       on_retry=on_retry)
+        elapsed = time.perf_counter() - started
+        if not quiet:
+            stats.query_seconds[query.label] = (
+                stats.query_seconds.get(query.label, 0.0) + elapsed
+            )
+            if flow is not None:
+                flow.event("preprocessor", f"ran {query.label}", query.purpose)
+        if query.label == "Q1":
+            self._bind_mingroups(program, stats, flow)
+        if checkpoint is not None:
+            checkpoint.record_query(key, self._db, program.workspace)
 
     def _bind_mingroups(
         self,

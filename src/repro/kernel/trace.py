@@ -33,11 +33,19 @@ class ProcessFlow:
     def __init__(self) -> None:
         self.events: List[ProcessEvent] = []
         self.timings: Dict[str, float] = {}
+        #: fault/retry/resume counters bumped by the resilience layer
+        self.counters: Dict[str, int] = {}
         self._started: Optional[float] = None
         self._component: Optional[str] = None
 
     def event(self, component: str, action: str, detail: str = "") -> None:
         self.events.append(ProcessEvent(component, action, detail))
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named counter (faults, retries, stages_resumed,
+        degradations) surfaced by :meth:`render`."""
+        if amount:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
 
     def start(self, component: str) -> None:
         """Begin timing a component phase."""
@@ -70,4 +78,8 @@ class ProcessFlow:
             lines.append("-- timings --")
             for component, elapsed in self.timings.items():
                 lines.append(f"{component}: {elapsed * 1000:.2f} ms")
+        if self.counters:
+            lines.append("-- counters --")
+            for counter, value in sorted(self.counters.items()):
+                lines.append(f"{counter}: {value}")
         return "\n".join(lines)

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import faults
+from repro.faults import FaultError
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.errors import CatalogError, ExecutionError, SqlTypeError
 from repro.sqlengine.evaluator import (
@@ -101,7 +103,15 @@ class ExpressionCompiler:
 
     def bind(self, expr: ast.Expression, frame: Optional[Frame]) -> BoundExpr:
         if self.enabled:
-            fn = self._compile(expr, frame)
+            try:
+                faults.check("engine.compile")
+                fn = self._compile(expr, frame)
+            except FaultError:
+                # Graceful degradation: an injected compilation fault
+                # falls back to the interpreter closure (identical
+                # semantics) instead of failing the statement.
+                faults.degrade("engine.compile: interpreter fallback")
+                fn = None
             if fn is not None:
                 return BoundExpr(fn, True)
         evaluator = self._evaluator

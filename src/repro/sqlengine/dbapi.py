@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.sqlengine.engine import Database, PreparedStatement
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.result import Result
@@ -141,6 +142,9 @@ class Cursor:
         self, operation: str, parameters: Optional[Dict[str, Any]] = None
     ) -> "Cursor":
         self._check_open()
+        # Injected FaultError deliberately propagates unwrapped: it is
+        # not a SqlError, and the retry layer matches it by type.
+        faults.check("dbapi.execute")
         statement = self._connection.prepare(operation)
         try:
             self._result = statement.execute(parameters)

@@ -109,6 +109,22 @@ def load_database(directory: Union[str, Path]) -> Database:
     return database
 
 
+def dump_table_text(database: Database, table_name: str) -> str:
+    """Deterministic text rendering of one table: a header line with
+    the column names, then the data rows in sorted order, tab-separated
+    with the dump serialization.  This is the format of the golden-file
+    tests: bit-identical across runs iff the table contents are."""
+    table = database.catalog.get_table(table_name)
+    lines = ["\t".join(str(column) for column in table.columns)]
+    lines.extend(
+        sorted(
+            "\t".join(_serialize(value) for value in row)
+            for row in table.rows
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
 # ---------------------------------------------------------------------------
 
 

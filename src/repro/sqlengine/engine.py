@@ -28,6 +28,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, Index, View
 from repro.sqlengine.compiler import BoundExpr, ExpressionCompiler
@@ -267,6 +268,7 @@ class Database:
         self, statement: ast.Statement, params: Optional[Dict[str, Any]] = None
     ) -> Result:
         """Execute an already-parsed statement."""
+        faults.check("engine.execute")
         self.statements_executed += 1
         merged = dict(self.variables)
         if params:

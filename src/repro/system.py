@@ -15,6 +15,17 @@ Section 3 ("the same preprocessing could be in common to the execution
 of several data mining queries, thus saving its cost"): executions
 whose FROM/GROUP/CLUSTER/encoding parts coincide share their encoded
 tables.
+
+Resilience (:mod:`repro.faults`): :meth:`MiningSystem.run` executes the
+same pipeline with per-stage retry (:class:`~repro.faults.RetryPolicy`,
+capped exponential backoff + wall-clock budget), stage checkpoints
+(:class:`~repro.kernel.program.StageCheckpoint`) so ``run(resume=True)``
+skips stages a crashed run already completed, and graceful degradation:
+a persistently failing bitset core falls back to the ``"set"`` layout
+(the compiled-expression fallback lives in the engine's compiler).
+Every fault, retry, resumed stage and degradation is surfaced through
+:class:`~repro.kernel.metrics.ResilienceStats`, the process-trace
+counters and the text report.
 """
 
 from __future__ import annotations
@@ -22,17 +33,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.algorithms import FrequentItemsetMiner, get_algorithm
 from repro.algorithms.bitset import validate_representation
+from repro.faults import FaultError, RetryPolicy
 from repro.kernel.core.general import GeneralCoreOperator
-from repro.kernel.metrics import CoreStats
+from repro.kernel.metrics import CoreStats, ResilienceStats
 from repro.kernel.core.inputs import CoreInputLoader
 from repro.kernel.core.rules import EncodedRule
 from repro.kernel.core.simple import SimpleCoreOperator
 from repro.kernel.names import Workspace
 from repro.kernel.postprocessor import DecodedRule, Postprocessor
 from repro.kernel.preprocessor import Preprocessor, PreprocessStats
-from repro.kernel.program import TranslationProgram
+from repro.kernel.program import StageCheckpoint, TranslationProgram
 from repro.kernel.trace import ProcessFlow
 from repro.kernel.translator import Translator
 from repro.minerule.statements import MineRuleStatement
@@ -54,6 +67,8 @@ class MiningResult:
     preprocessing_reused: bool = False
     #: core-operator observability (lattice sizes, bitmap counters)
     core_stats: Optional[CoreStats] = None
+    #: fault/retry/resume counters of this run
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def directives(self):
@@ -82,12 +97,16 @@ class MiningResult:
 class MiningSystem:
     """Tightly-coupled data mining on top of the SQL engine."""
 
+    #: crash checkpoints kept around for ``run(resume=True)``
+    _CHECKPOINT_CAP = 16
+
     def __init__(
         self,
         database: Optional[Database] = None,
         algorithm: Union[str, FrequentItemsetMiner] = "apriori",
         reuse_preprocessing: bool = True,
         representation: str = "bitset",
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.db = database if database is not None else Database()
         self.representation = validate_representation(representation)
@@ -103,27 +122,81 @@ class MiningSystem:
             algorithm.representation = self.representation
         self.algorithm = algorithm
         self.reuse_preprocessing = reuse_preprocessing
+        #: default retry policy for :meth:`run` (None: single attempt)
+        self.retry_policy = retry_policy
         self._translator = Translator(self.db)
         self._preprocessor = Preprocessor(self.db)
         self._postprocessor = Postprocessor(self.db)
         self._executions = 0
         #: preprocessing signature -> (workspace, totg, mingroups)
         self._preprocess_cache: Dict[tuple, Tuple[Workspace, int, int]] = {}
+        #: normalized statement text -> checkpoint of a crashed run
+        self._checkpoints: Dict[str, StageCheckpoint] = {}
 
     # ------------------------------------------------------------------
 
     def execute(self, statement_text: str) -> MiningResult:
-        """Run one MINE RULE statement end to end."""
+        """Run one MINE RULE statement end to end (no resume/retry)."""
+        return self.run(statement_text)
+
+    def run(
+        self,
+        statement_text: str,
+        resume: bool = False,
+        retry: Optional[RetryPolicy] = None,
+    ) -> MiningResult:
+        """Run one MINE RULE statement end to end.
+
+        ``retry`` (or the system-wide :attr:`retry_policy`) re-attempts
+        stages that fail with an injected :class:`FaultError`, with
+        capped exponential backoff.  ``resume=True`` consults the
+        checkpoint a previously crashed run of the *same statement
+        text* left behind and skips its completed stages — provided the
+        checkpoint's recorded encoded tables are still intact; a stale
+        checkpoint is discarded and the run starts from scratch.
+        """
+        policy = retry if retry is not None else self.retry_policy
+        if policy is None:
+            policy = RetryPolicy.single()
         flow = ProcessFlow()
+        resilience = ResilienceStats()
+        schedule = faults.active()
+        fault_mark = schedule.snapshot() if schedule is not None else None
         self._executions += 1
+
+        key = " ".join(statement_text.split())
+        checkpoint = self._checkpoints.get(key) if resume else None
+        if checkpoint is not None and not self._checkpoint_valid(checkpoint):
+            flow.event(
+                "translator",
+                "checkpoint discarded",
+                "recorded encoded tables are gone or changed; "
+                "restarting from scratch",
+            )
+            self._checkpoints.pop(key, None)
+            checkpoint = None
+        resumed = checkpoint is not None
+
+        def on_retry(stage: str, attempt: int, exc: Exception,
+                     delay: float) -> None:
+            resilience.retries += 1
+            flow.bump("retries")
+            flow.event(
+                stage.split(".", 1)[0],
+                "retry",
+                f"{stage} attempt {attempt} failed ({exc}); "
+                f"backing off {delay * 1000:.1f} ms",
+            )
 
         # -- translator -------------------------------------------------
         flow.start("translator")
         flow.event("translator", "received statement")
-        signature_workspace = Workspace(f"MR{self._executions}")
-        program = self._translator.translate(
-            statement_text, signature_workspace
+        workspace = (
+            Workspace(checkpoint.workspace_prefix)
+            if checkpoint is not None
+            else Workspace(f"MR{self._executions}")
         )
+        program = self._translator.translate(statement_text, workspace)
         flow.event(
             "translator",
             "validated and classified",
@@ -131,85 +204,43 @@ class MiningSystem:
         )
         flow.stop()
 
-        # -- preprocessor ------------------------------------------------
-        signature = self._preprocess_signature(program)
-        cached = (
-            self._preprocess_cache.get(signature)
-            if self.reuse_preprocessing
-            else None
-        )
-        stats: Optional[PreprocessStats] = None
-        reused = False
-        flow.start("preprocessor")
-        if cached is not None:
-            workspace, totg, mingroups = cached
-            # Re-target the program onto the cached workspace.
-            program = self._translator.translate(statement_text, workspace)
-            self.db.variables["totg"] = totg
-            self.db.variables["mingroups"] = mingroups
-            reused = True
-            flow.event(
-                "preprocessor",
-                "reused encoded tables",
-                f"workspace {workspace.prefix} (Section 3 optimisation)",
+        if checkpoint is None:
+            checkpoint = StageCheckpoint(
+                statement_text=key, workspace_prefix=workspace.prefix
             )
-            # The output tables of *this* statement must still be fresh.
-            self._drop_output_tables(program)
-        else:
-            stats = self._preprocessor.run(program, flow)
-            if self.reuse_preprocessing:
-                self._preprocess_cache[signature] = (
-                    program.workspace,
-                    stats.totg,
-                    stats.mingroups,
-                )
-        flow.stop()
 
-        # -- core operator -------------------------------------------------
-        flow.start("core")
-        loader = CoreInputLoader(self.db, program.core)
-        if program.core.simple:
-            data = loader.load_simple()
-            operator = SimpleCoreOperator(self.algorithm)
-            flow.event(
-                "core",
-                "simple core processing",
-                f"algorithm {self.algorithm.name}, "
-                f"{len(data.groups)} encoded groups",
+        try:
+            program, stats, reused = self._preprocess_stage(
+                program, statement_text, flow, checkpoint, policy,
+                resilience, resumed, on_retry,
             )
-            encoded_rules = operator.run(data, program.core)
-            core_stats = CoreStats.from_simple(self.algorithm)
-        else:
-            general_data = loader.load_general()
-            general = GeneralCoreOperator(
-                representation=self.representation
+            encoded_rules, core_stats = self._core_stage(
+                program, flow, checkpoint, policy, resilience, on_retry
             )
-            flow.event(
-                "core",
-                "general core processing",
-                "elementary rules from InputRules"
-                if general_data.elementary is not None
-                else "elementary rules derived from CodedSource",
+            decoded = self._postprocess_stage(
+                program, encoded_rules, flow, checkpoint, policy,
+                resilience, on_retry,
             )
-            encoded_rules = general.run(general_data, program.core)
-            core_stats = CoreStats.from_general(general)
-        flow.event("core", "extracted rules", f"{len(encoded_rules)} rules")
-        flow.event("core", "observability", core_stats.describe())
-        flow.stop()
+        except Exception:
+            # Keep the checkpoint: a later run(resume=True) of the same
+            # statement picks up right after the last completed stage.
+            self._remember_checkpoint(key, checkpoint)
+            raise
+        self._checkpoints.pop(key, None)
 
-        # -- postprocessor -----------------------------------------------
-        flow.start("postprocessor")
-        self._postprocessor.store_encoded_rules(program, encoded_rules)
-        self._postprocessor.decode(program)
-        decoded = self._postprocessor.decoded_rules(program, encoded_rules)
-        flow.event(
-            "postprocessor",
-            "stored output relations",
-            f"{program.statement.output_table}, "
-            f"{program.statement.output_table}_Bodies, "
-            f"{program.statement.output_table}_Heads",
-        )
-        flow.stop()
+        if schedule is not None and fault_mark is not None:
+            errors, latencies, degradations = schedule.snapshot()
+            resilience.faults_injected += errors - fault_mark[0]
+            resilience.latencies_injected += latencies - fault_mark[1]
+            resilience.degraded.extend(
+                schedule.degradations[fault_mark[2]:]
+            )
+        flow.bump("faults", resilience.faults_injected)
+        flow.bump("latency_faults", resilience.latencies_injected)
+        flow.bump("stages_resumed", resilience.stages_resumed)
+        flow.bump("degradations", resilience.degradations)
+        if resilience.any():
+            flow.event("postprocessor", "resilience", resilience.describe())
 
         return MiningResult(
             statement=program.statement,
@@ -220,7 +251,296 @@ class MiningSystem:
             flow=flow,
             preprocessing_reused=reused,
             core_stats=core_stats,
+            resilience=resilience,
         )
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+
+    def _preprocess_stage(
+        self,
+        program: TranslationProgram,
+        statement_text: str,
+        flow: ProcessFlow,
+        checkpoint: StageCheckpoint,
+        policy: RetryPolicy,
+        resilience: ResilienceStats,
+        resumed: bool,
+        on_retry,
+    ) -> Tuple[TranslationProgram, Optional[PreprocessStats], bool]:
+        flow.start("preprocessor")
+        stats: Optional[PreprocessStats] = None
+        reused = False
+
+        if resumed and checkpoint.preprocessing_reused:
+            # The crashed run had satisfied preprocessing from the
+            # Section-3 reuse cache; its encoded tables still live in
+            # the shared workspace the checkpoint points at.
+            self.db.variables.update(checkpoint.host_variables)
+            reused = True
+            flow.event(
+                "preprocessor",
+                "reused encoded tables",
+                f"workspace {program.workspace.prefix} "
+                f"(Section 3 optimisation)",
+            )
+            resilience.stages_resumed += 1
+            if not checkpoint.stored:
+                self._drop_output_tables(program)
+            flow.stop()
+            return program, None, True
+
+        if resumed:
+            # Partial artifacts of the crashed query (tables it started
+            # but never completed) are dropped so re-running it starts
+            # from a clean slate.
+            self._drop_partial_tables(checkpoint, program.workspace)
+            stats = self._preprocessor.run(
+                program, flow, checkpoint=checkpoint, policy=policy
+            )
+            resilience.stages_resumed += stats.queries_skipped
+            resilience.retries += stats.retries
+        else:
+            signature = self._preprocess_signature(program)
+            cached = (
+                self._preprocess_cache.get(signature)
+                if self.reuse_preprocessing
+                else None
+            )
+            if cached is not None:
+                cached_workspace, totg, mingroups = cached
+                # Re-target the program onto the cached workspace.
+                program = self._translator.translate(
+                    statement_text, cached_workspace
+                )
+                self.db.variables["totg"] = totg
+                self.db.variables["mingroups"] = mingroups
+                reused = True
+                checkpoint.preprocessing_reused = True
+                checkpoint.workspace_prefix = cached_workspace.prefix
+                checkpoint.host_variables = {
+                    "totg": totg, "mingroups": mingroups
+                }
+                flow.event(
+                    "preprocessor",
+                    "reused encoded tables",
+                    f"workspace {cached_workspace.prefix} "
+                    f"(Section 3 optimisation)",
+                )
+                # The output tables of *this* statement must be fresh.
+                self._drop_output_tables(program)
+            else:
+                stats = self._preprocessor.run(
+                    program, flow, checkpoint=checkpoint, policy=policy
+                )
+                resilience.retries += stats.retries
+        if stats is not None and self.reuse_preprocessing:
+            self._preprocess_cache[self._preprocess_signature(program)] = (
+                program.workspace,
+                stats.totg,
+                stats.mingroups,
+            )
+        flow.stop()
+        return program, stats, reused
+
+    def _core_stage(
+        self,
+        program: TranslationProgram,
+        flow: ProcessFlow,
+        checkpoint: StageCheckpoint,
+        policy: RetryPolicy,
+        resilience: ResilienceStats,
+        on_retry,
+    ) -> Tuple[List[EncodedRule], Optional[CoreStats]]:
+        flow.start("core")
+        if checkpoint.encoded_rules is not None:
+            encoded_rules = checkpoint.encoded_rules
+            core_stats = checkpoint.core_stats
+            resilience.stages_resumed += 1
+            flow.event(
+                "core",
+                "skipped (resume)",
+                f"{len(encoded_rules)} rules from checkpoint",
+            )
+        else:
+            representation = self.representation
+            try:
+                encoded_rules, core_stats = policy.execute(
+                    lambda: self._mine_once(program, flow, representation),
+                    stage="core",
+                    on_retry=on_retry,
+                )
+            except FaultError as exc:
+                if representation == "set" or exc.site != "core.bitset":
+                    raise
+                # Graceful degradation: the bitset machinery keeps
+                # failing after retries — fall back to the "set" layout
+                # (identical rules, slower counting).
+                representation = "set"
+                resilience.degraded.append(f"core: bitset -> set ({exc})")
+                flow.event(
+                    "core",
+                    "degraded",
+                    "bitset representation failed; retrying with the "
+                    "set layout",
+                )
+                encoded_rules, core_stats = policy.execute(
+                    lambda: self._mine_once(program, flow, representation),
+                    stage="core",
+                    on_retry=on_retry,
+                )
+            checkpoint.encoded_rules = encoded_rules
+            checkpoint.core_stats = core_stats
+        flow.event("core", "extracted rules", f"{len(encoded_rules)} rules")
+        if core_stats is not None:
+            flow.event("core", "observability", core_stats.describe())
+        flow.stop()
+        return encoded_rules, core_stats
+
+    def _mine_once(
+        self,
+        program: TranslationProgram,
+        flow: ProcessFlow,
+        representation: str,
+    ) -> Tuple[List[EncodedRule], CoreStats]:
+        faults.check("core.load")
+        loader = CoreInputLoader(self.db, program.core)
+        if program.core.simple:
+            data = loader.load_simple()
+            if representation == "bitset":
+                faults.check("core.bitset")
+            algorithm = self.algorithm
+            restore = None
+            if (
+                representation != "bitset"
+                and getattr(algorithm, "representation", None) == "bitset"
+            ):
+                restore = algorithm.representation
+                algorithm.representation = "set"
+            try:
+                operator = SimpleCoreOperator(algorithm)
+                flow.event(
+                    "core",
+                    "simple core processing",
+                    f"algorithm {algorithm.name}, "
+                    f"{len(data.groups)} encoded groups",
+                )
+                encoded_rules = operator.run(data, program.core)
+                core_stats = CoreStats.from_simple(algorithm)
+            finally:
+                if restore is not None:
+                    algorithm.representation = restore
+            return encoded_rules, core_stats
+
+        general_data = loader.load_general()
+        if representation == "bitset":
+            faults.check("core.bitset")
+        general = GeneralCoreOperator(representation=representation)
+        flow.event(
+            "core",
+            "general core processing",
+            "elementary rules from InputRules"
+            if general_data.elementary is not None
+            else "elementary rules derived from CodedSource",
+        )
+        encoded_rules = general.run(general_data, program.core)
+        return encoded_rules, CoreStats.from_general(general)
+
+    def _postprocess_stage(
+        self,
+        program: TranslationProgram,
+        encoded_rules: List[EncodedRule],
+        flow: ProcessFlow,
+        checkpoint: StageCheckpoint,
+        policy: RetryPolicy,
+        resilience: ResilienceStats,
+        on_retry,
+    ) -> List[DecodedRule]:
+        out = program.statement.output_table
+        flow.start("postprocessor")
+        if checkpoint.stored and self.db.catalog.has_table(out):
+            resilience.stages_resumed += 1
+            flow.event("postprocessor", "skipped store (resume)", out)
+        else:
+            policy.execute(
+                lambda: self._postprocessor.store_encoded_rules(
+                    program, encoded_rules
+                ),
+                stage="postprocessor.store",
+                on_retry=on_retry,
+            )
+            checkpoint.stored = True
+            # The stored tables join the checkpoint snapshot so a
+            # later resume neither sweeps them away as partial
+            # artifacts nor trusts them if they changed underneath.
+            for table in (program.workspace.output_bodies,
+                          program.workspace.output_heads):
+                if self.db.catalog.has_table(table):
+                    checkpoint.table_snapshot[table] = len(
+                        self.db.catalog.get_table(table)
+                    )
+        if checkpoint.decoded and self.db.catalog.has_table(f"{out}_Display"):
+            resilience.stages_resumed += 1
+            flow.event(
+                "postprocessor", "skipped decode (resume)", f"{out}_Display"
+            )
+        else:
+            policy.execute(
+                lambda: self._postprocessor.decode(program),
+                stage="postprocessor.decode",
+                on_retry=on_retry,
+            )
+            checkpoint.decoded = True
+        decoded = policy.execute(
+            lambda: self._postprocessor.decoded_rules(
+                program, encoded_rules
+            ),
+            stage="postprocessor.decode",
+            on_retry=on_retry,
+        )
+        flow.event(
+            "postprocessor",
+            "stored output relations",
+            f"{out}, {out}_Bodies, {out}_Heads",
+        )
+        flow.stop()
+        return decoded
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def _checkpoint_valid(self, checkpoint: StageCheckpoint) -> bool:
+        """A checkpoint resumes only if every encoded table it recorded
+        still exists with exactly the recorded row count."""
+        if checkpoint.preprocessing_reused:
+            return True
+        for table, rows in checkpoint.table_snapshot.items():
+            if not self.db.catalog.has_table(table):
+                return False
+            if len(self.db.catalog.get_table(table)) != rows:
+                return False
+        return True
+
+    def _drop_partial_tables(
+        self, checkpoint: StageCheckpoint, workspace: Workspace
+    ) -> None:
+        for table in workspace.all_tables():
+            if table not in checkpoint.table_snapshot:
+                self.db.catalog.drop_table(table, if_exists=True)
+
+    def _remember_checkpoint(
+        self, key: str, checkpoint: StageCheckpoint
+    ) -> None:
+        self._checkpoints[key] = checkpoint
+        while len(self._checkpoints) > self._CHECKPOINT_CAP:
+            self._checkpoints.pop(next(iter(self._checkpoints)))
+
+    def checkpoint_for(self, statement_text: str) -> Optional[StageCheckpoint]:
+        """The crash checkpoint of *statement_text*, if one exists
+        (test/CLI observability)."""
+        return self._checkpoints.get(" ".join(statement_text.split()))
 
     # ------------------------------------------------------------------
 
@@ -251,6 +571,7 @@ class MiningSystem:
                 for sequence in workspace.all_sequences():
                     self.db.catalog.drop_sequence(sequence, if_exists=True)
         self._preprocess_cache.clear()
+        self._checkpoints.clear()
 
     def _preprocess_signature(self, program: TranslationProgram) -> tuple:
         """Statements share encoded tables iff this signature matches:
