@@ -22,6 +22,11 @@ commands start with a dot:
                        quest | clicks | telecom
 ``.algorithm NAME``    select the pool algorithm for simple rules
 ``.explain SQL``       show the physical plan of a SELECT
+``.analyze SQL``       EXPLAIN ANALYZE: run the statement once and show
+                       actual rows/loops/time per plan node
+``.trace [FILE]``      consolidated span report of this session, or
+                       write the Chrome trace-event JSON to FILE
+                       (requires ``--trace-out``)
 ``.report [SORT]``     full report of the last MINE RULE run
                        (sort: support | confidence | lift)
 ``.dump DIR``          persist the database to a directory
@@ -54,6 +59,12 @@ from repro.datagen import (
 )
 from repro.faults import FaultError, FaultSchedule, RetryPolicy
 from repro.minerule.errors import MineRuleError
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    render_obs_report,
+    write_chrome_trace,
+)
 from repro.sqlengine.errors import SqlError
 from repro.system import MiningSystem
 
@@ -79,9 +90,12 @@ class Shell:
         algorithm: str = "apriori",
         retry_policy: Optional[RetryPolicy] = None,
         resume: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.system = MiningSystem(
-            algorithm=algorithm, retry_policy=retry_policy
+            algorithm=algorithm, retry_policy=retry_policy,
+            tracer=self.tracer,
         )
         #: resume MINE RULE statements from crash checkpoints
         self.resume = resume
@@ -144,6 +158,11 @@ class Shell:
     # -- statement kinds --------------------------------------------------
 
     def _sql(self, text: str) -> str:
+        stripped = text.lstrip()
+        if stripped[:16].upper() == "EXPLAIN ANALYZE ":
+            return self.db.explain_analyze(stripped[16:])
+        if stripped[:8].upper() == "EXPLAIN ":
+            return self.db.explain(stripped[8:])
         result = self.db.execute(text)
         if result.columns:
             return f"{result.pretty(limit=50)}\n({len(result)} rows)"
@@ -209,6 +228,20 @@ class Shell:
             if not argument:
                 return "usage: .explain SELECT ..."
             return self.db.explain(argument)
+        if command == ".analyze":
+            if not argument:
+                return "usage: .analyze STATEMENT (executes it once)"
+            return self.db.explain_analyze(argument)
+        if command == ".trace":
+            if not self.tracer.enabled:
+                return (
+                    "tracing is off; start the shell with "
+                    "--trace-out FILE to record spans"
+                )
+            if argument:
+                path = write_chrome_trace(self.tracer, argument)
+                return f"wrote Chrome trace ({len(self.tracer.spans)} spans) to {path}"
+            return render_obs_report(self.tracer)
         if command == ".experiments":
             from repro.experiments import generate_report
 
@@ -243,6 +276,7 @@ class Shell:
             self.system = MiningSystem(
                 database=load_database(argument),
                 algorithm=self.system.algorithm,
+                tracer=self.tracer,
             )
             return f"restored catalog from {argument}"
         if command == ".timing":
@@ -310,6 +344,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'preprocessor.Q4:1;engine.execute:3*2' or 'seed=42' "
         "for a random one",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record spans + EXPLAIN ANALYZE for every statement and "
+        "write a Chrome trace-event JSON (chrome://tracing, Perfetto) "
+        "to FILE on exit",
+    )
     args = parser.parse_args(argv)
 
     if args.fault_schedule:
@@ -323,40 +363,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.retries is not None
         else None
     )
+    tracer = (
+        Tracer(enabled=True, analyze=True)
+        if args.trace_out
+        else NULL_TRACER
+    )
     shell = Shell(
         algorithm=args.algorithm,
         retry_policy=retry_policy,
         resume=args.resume,
+        tracer=tracer,
     )
-    if args.command or args.file:
-        statements = list(args.command)
-        if args.file:
-            with open(args.file, "r", encoding="utf-8") as handle:
-                statements.extend(
-                    chunk.strip()
-                    for chunk in handle.read().split(";")
-                    if chunk.strip()
-                )
-        for statement in statements:
-            output = shell.execute(statement)
+    try:
+        if args.command or args.file:
+            statements = list(args.command)
+            if args.file:
+                with open(args.file, "r", encoding="utf-8") as handle:
+                    statements.extend(
+                        chunk.strip()
+                        for chunk in handle.read().split(";")
+                        if chunk.strip()
+                    )
+            for statement in statements:
+                output = shell.execute(statement)
+                if output:
+                    print(output)
+            return 0
+
+        print("repro MINE RULE shell — .help for commands, .quit to exit")
+        while True:
+            prompt = "   ...> " if shell.pending else "repro> "
+            try:
+                line = input(prompt)
+            except EOFError:
+                print()
+                return 0
+            try:
+                output = shell.feed(line)
+            except EOFError:
+                return 0
             if output:
                 print(output)
-        return 0
-
-    print("repro MINE RULE shell — .help for commands, .quit to exit")
-    while True:
-        prompt = "   ...> " if shell.pending else "repro> "
-        try:
-            line = input(prompt)
-        except EOFError:
-            print()
-            return 0
-        try:
-            output = shell.feed(line)
-        except EOFError:
-            return 0
-        if output:
-            print(output)
+    finally:
+        if args.trace_out:
+            path = write_chrome_trace(tracer, args.trace_out)
+            print(f"trace written to {path} ({len(tracer.spans)} spans)")
 
 
 if __name__ == "__main__":  # pragma: no cover

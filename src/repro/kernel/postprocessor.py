@@ -51,7 +51,15 @@ class Postprocessor:
         Identical bodies (heads) share one identifier, so the auxiliary
         tables stay normalized.
         """
-        faults.check("postprocessor.store")
+        with self._db.tracer.span(
+            "postprocessor.store", category="postprocessor", rules=len(rules)
+        ):
+            faults.check("postprocessor.store")
+            self._store_encoded_rules(program, rules)
+
+    def _store_encoded_rules(
+        self, program: TranslationProgram, rules: Sequence[EncodedRule]
+    ) -> None:
         statement = program.statement
         names = program.workspace
         out = statement.output_table
@@ -119,13 +127,16 @@ class Postprocessor:
         or resumed decode cannot duplicate rows in ``<out>_Bodies`` /
         ``<out>_Heads``.
         """
-        faults.check("postprocessor.decode")
-        out = program.statement.output_table
-        for table in (f"{out}_Bodies", f"{out}_Heads", f"{out}_Display"):
-            self._db.catalog.drop_table(table, if_exists=True)
-        for query in program.postprocessing:
-            self._db.execute(query.sql)
-        self._build_display(program)
+        with self._db.tracer.span(
+            "postprocessor.decode", category="postprocessor"
+        ):
+            faults.check("postprocessor.decode")
+            out = program.statement.output_table
+            for table in (f"{out}_Bodies", f"{out}_Heads", f"{out}_Display"):
+                self._db.catalog.drop_table(table, if_exists=True)
+            for query in program.postprocessing:
+                self._db.execute(query.sql)
+            self._build_display(program)
 
     def item_decoders(
         self, program: TranslationProgram

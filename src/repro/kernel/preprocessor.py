@@ -57,6 +57,11 @@ class PreprocessStats:
     queries_skipped: int = 0
     #: query re-attempts taken by the retry policy
     retries: int = 0
+    #: EXPLAIN ANALYZE node stats per query label (captured only when
+    #: the database tracer was created with ``analyze=True``)
+    analyzed: Dict[str, list] = field(default_factory=dict)
+    #: the annotated plan text behind each :attr:`analyzed` entry
+    analyzed_text: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -136,13 +141,28 @@ class Preprocessor:
         quiet: bool = False,
     ) -> None:
         def attempt() -> None:
-            # The fault site fires at query entry — before the engine
-            # touches any state — so a retry re-runs the query exactly
-            # once against unchanged tables.
-            faults.check(f"preprocessor.{query.label}")
-            # Prepared execution: repeated runs of the same translation
-            # program hit the engine's statement and plan caches.
-            self._db.prepare(query.sql).execute()
+            tracer = self._db.tracer
+            with tracer.span(
+                f"preprocessor.{query.label}",
+                category="preprocessor",
+                purpose=query.purpose,
+            ) as span:
+                # The fault site fires at query entry — before the
+                # engine touches any state — so a retry re-runs the
+                # query exactly once against unchanged tables.
+                faults.check(f"preprocessor.{query.label}")
+                if tracer.analyze:
+                    # EXPLAIN ANALYZE capture: the query still executes
+                    # exactly once; its per-operator stats ride along.
+                    analysis = self._db.analyze(query.sql)
+                    stats.analyzed[query.label] = analysis.nodes
+                    stats.analyzed_text[query.label] = analysis.text
+                    span.annotate(rows=analysis.rowcount, plan=analysis.text)
+                else:
+                    # Prepared execution: repeated runs of the same
+                    # translation program hit the engine's statement
+                    # and plan caches.
+                    self._db.prepare(query.sql).execute()
 
         def on_retry(stage: str, attempt_no: int, exc: Exception,
                      delay: float) -> None:

@@ -4,13 +4,21 @@ The figure's thick lines — user support -> translator -> preprocessor
 -> core operator -> postprocessor -> user support — are recorded as
 :class:`ProcessEvent` entries so the FIG3 benchmark can regenerate the
 flow and tests can assert the component ordering.
+
+A :class:`ProcessFlow` optionally mirrors everything it records into a
+:class:`repro.obs.spans.Tracer`: component phases become spans, events
+become instants and counters forward one-to-one, so one ``--trace-out``
+capture holds the whole pipeline without the components knowing about
+the observability layer.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.obs.spans import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -30,30 +38,44 @@ class ProcessEvent:
 class ProcessFlow:
     """Collects events and per-component timings during one execution."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self.events: List[ProcessEvent] = []
         self.timings: Dict[str, float] = {}
         #: fault/retry/resume counters bumped by the resilience layer
         self.counters: Dict[str, int] = {}
+        #: observability sink mirroring phases/events/counters
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._started: Optional[float] = None
         self._component: Optional[str] = None
+        self._span = None
 
     def event(self, component: str, action: str, detail: str = "") -> None:
         self.events.append(ProcessEvent(component, action, detail))
+        if detail:
+            self.tracer.instant(
+                f"{component}: {action}", category=component, detail=detail
+            )
+        else:
+            self.tracer.instant(f"{component}: {action}", category=component)
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named counter (faults, retries, stages_resumed,
         degradations) surfaced by :meth:`render`."""
         if amount:
             self.counters[counter] = self.counters.get(counter, 0) + amount
+            self.tracer.bump(counter, amount)
 
     def start(self, component: str) -> None:
         """Begin timing a component phase."""
         self._component = component
         self._started = time.perf_counter()
+        self._span = self.tracer.begin(component, category="component")
 
     def stop(self) -> float:
         """End the current phase; accumulates into :attr:`timings`."""
+        if self._span is not None:
+            self.tracer.end(self._span)
+            self._span = None
         if self._started is None or self._component is None:
             return 0.0
         elapsed = time.perf_counter() - self._started

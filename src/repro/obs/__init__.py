@@ -1,0 +1,29 @@
+"""Unified observability: spans, counters/gauges, trace export.
+
+Replaces the scattered ad-hoc timing of earlier revisions with one
+subsystem: :class:`Tracer` collects hierarchical spans and registry
+values, :func:`write_chrome_trace` exports them in Chrome trace-event
+format, and :func:`render_obs_report` renders the consolidated text
+report.  :data:`NULL_TRACER` is the shared disabled instance that
+makes the un-traced path a single attribute check.
+"""
+
+from repro.obs.export import (
+    render_chrome_trace,
+    trace_events,
+    write_chrome_trace,
+)
+from repro.obs.report import render_obs_report
+from repro.obs.spans import NULL_SPAN, NULL_TRACER, Instant, Span, Tracer
+
+__all__ = [
+    "Instant",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "render_chrome_trace",
+    "render_obs_report",
+    "trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,106 @@
+"""Chrome trace-event export.
+
+Serialises a :class:`~repro.obs.spans.Tracer` to the JSON object format
+understood by ``chrome://tracing`` / Perfetto: spans become ``"X"``
+(complete) events with microsecond ``ts``/``dur`` relative to the
+tracer's origin, instants become ``"i"`` events, and the final counter
+values are emitted as one ``"C"`` event each at the end of the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.spans import Tracer
+
+#: single-process trace: everything runs in one interpreter
+_PID = 1
+_TID = 1
+
+
+def trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for *tracer*."""
+    origin = tracer.origin
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": "repro mining pipeline"},
+        }
+    ]
+    last_us = 0.0
+    for span in sorted(tracer.spans, key=lambda s: s.start):
+        ts = (span.start - origin) * 1e6
+        dur = span.seconds * 1e6
+        last_us = max(last_us, ts + dur)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "pid": _PID,
+                "tid": _TID,
+                "ts": round(ts, 3),
+                "dur": round(dur, 3),
+                "args": _json_safe(span.args),
+            }
+        )
+    for instant in tracer.instants:
+        ts = (instant.at - origin) * 1e6
+        last_us = max(last_us, ts)
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.category or "event",
+                "ph": "i",
+                "s": "t",
+                "pid": _PID,
+                "tid": _TID,
+                "ts": round(ts, 3),
+                "args": _json_safe(instant.args),
+            }
+        )
+    for counter, value in sorted(tracer.counters.items()):
+        events.append(
+            {
+                "name": counter,
+                "ph": "C",
+                "pid": _PID,
+                "ts": round(last_us, 3),
+                "args": {"value": value},
+            }
+        )
+    return events
+
+
+def render_chrome_trace(tracer: Tracer) -> str:
+    """The complete trace file as a JSON string."""
+    payload = {
+        "traceEvents": trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": _json_safe(tracer.counters),
+            "gauges": _json_safe(tracer.gauges),
+        },
+    }
+    return json.dumps(payload, indent=1)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write the trace file; returns *path* for message convenience."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_chrome_trace(tracer))
+    return path
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce span args to JSON-serialisable values (repr fallback)."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)

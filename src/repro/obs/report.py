@@ -1,0 +1,53 @@
+"""Consolidated end-of-run observability report.
+
+Text rendering of everything a :class:`~repro.obs.spans.Tracer`
+collected: wall time by category, the slowest spans, counters and
+gauges.  The MINE RULE report (:mod:`repro.report`) embeds a compact
+variant; the CLI ``.trace`` meta command prints this full one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.spans import Tracer
+
+
+def render_obs_report(tracer: Tracer, top: int = 10) -> str:
+    if not tracer.enabled:
+        return "tracing disabled (run with --trace-out to record spans)"
+    lines: List[str] = []
+    lines.append(
+        f"observability: {len(tracer.spans)} spans, "
+        f"{len(tracer.instants)} events"
+    )
+
+    by_category = tracer.category_seconds()
+    if by_category:
+        lines.append("time by category:")
+        total = sum(by_category.values())
+        for category, seconds in sorted(
+            by_category.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(
+                f"  {category:<16} {seconds * 1000:9.2f} ms ({share:4.1f}%)"
+            )
+
+    slowest = tracer.slowest(top)
+    if slowest:
+        lines.append(f"slowest spans (top {len(slowest)}):")
+        for span in slowest:
+            lines.append(
+                f"  {span.name:<28} {span.seconds * 1000:9.2f} ms"
+            )
+
+    if tracer.counters:
+        lines.append("counters:")
+        for counter, value in sorted(tracer.counters.items()):
+            lines.append(f"  {counter}: {value:g}")
+    if tracer.gauges:
+        lines.append("gauges:")
+        for gauge, value in sorted(tracer.gauges.items()):
+            lines.append(f"  {gauge}: {value}")
+    return "\n".join(lines)

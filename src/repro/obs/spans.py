@@ -1,0 +1,197 @@
+"""Hierarchical spans and a counter/gauge registry.
+
+One :class:`Tracer` instance accompanies a pipeline run (or a whole
+shell session).  Components open *spans* around units of work —
+``translator``, ``preprocessor.Q4``, ``engine.Select`` — which nest by
+wall-clock containment, and bump *counters* (monotonic totals: faults,
+retries, cache hits) or set *gauges* (last-value observations: group
+counts, bitmap sizes).  The recorded spans feed three surfaces:
+
+* the Chrome trace-event export (:mod:`repro.obs.export`),
+* the consolidated end-of-run report (:mod:`repro.obs.report`),
+* per-query ``EXPLAIN ANALYZE`` captures attached as span arguments.
+
+Zero overhead when disabled: a disabled tracer hands out one shared
+no-op span object and every recording method returns immediately after
+a single attribute check, so the hot path (one check per SQL
+statement) costs an ``if`` and nothing else.  :data:`NULL_TRACER` is
+the process-wide disabled instance used as the default everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed unit of work.
+
+    Usable as a context manager (``with tracer.span(...) as s:``) or
+    through explicit ``begin``/``end`` when the unit does not map to a
+    lexical block.  ``args`` carries structured details (query purpose,
+    captured plans, row counts) into the trace export.
+    """
+
+    __slots__ = ("name", "category", "start", "end", "depth", "args", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        start: float,
+        depth: int,
+        args: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.depth = depth
+        self.args = args
+
+    @property
+    def seconds(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def annotate(self, **args: Any) -> None:
+        """Attach structured details to the span."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._tracer.end(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, category={self.category!r}, "
+            f"seconds={self.seconds:.6f})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out (one shared
+    instance: no allocation on the disabled path)."""
+
+    __slots__ = ()
+
+    def annotate(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Instant:
+    """A point event (no duration): process-flow markers."""
+
+    __slots__ = ("name", "category", "at", "args")
+
+    def __init__(self, name: str, category: str, at: float, args: Dict[str, Any]):
+        self.name = name
+        self.category = category
+        self.at = at
+        self.args = args
+
+
+class Tracer:
+    """Span sink plus counter/gauge registry for one run.
+
+    ``analyze=True`` additionally asks the SQL layer to capture
+    per-operator row counts and timings (``EXPLAIN ANALYZE``) for every
+    query it executes — strictly opt-in, as it wraps every operator's
+    row stream.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        analyze: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = enabled
+        self.analyze = analyze and enabled
+        self._clock = clock
+        #: perf-counter instant the tracer was created (trace epoch)
+        self.origin = clock()
+        #: completed spans, in end order
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, Any] = {}
+        self._depth = 0
+
+    # -- spans ----------------------------------------------------------
+
+    def begin(self, name: str, category: str = "", **args: Any):
+        """Open a span; pair with :meth:`end` (or use as ``with``)."""
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(self, name, category, self._clock(), self._depth, args)
+        self._depth += 1
+        return span
+
+    #: ``span()`` reads better at call sites that use ``with``
+    span = begin
+
+    def end(self, span: Any) -> float:
+        """Close *span*; returns its duration in seconds."""
+        if span is NULL_SPAN or not isinstance(span, Span):
+            return 0.0
+        if span.end is None:
+            span.end = self._clock()
+            self._depth = max(0, self._depth - 1)
+            self.spans.append(span)
+        return span.seconds
+
+    def instant(self, name: str, category: str = "", **args: Any) -> None:
+        """Record a point event."""
+        if not self.enabled:
+            return
+        self.instants.append(Instant(name, category, self._clock(), args))
+
+    # -- registry -------------------------------------------------------
+
+    def bump(self, counter: str, amount: float = 1) -> None:
+        """Increment a monotonic counter."""
+        if not self.enabled or not amount:
+            return
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def gauge(self, name: str, value: Any) -> None:
+        """Set a last-value observation."""
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    # -- aggregation ----------------------------------------------------
+
+    def category_seconds(self) -> Dict[str, float]:
+        """Total span seconds per category.  Nested spans of the *same*
+        category double-count by design (each category is summed
+        independently); the component spans the report leads with sit
+        at the top of the hierarchy."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            key = span.category or span.name
+            out[key] = out.get(key, 0.0) + span.seconds
+        return out
+
+    def slowest(self, limit: int = 10) -> List[Span]:
+        return sorted(self.spans, key=lambda s: -s.seconds)[:limit]
+
+
+#: the shared disabled tracer — default value of every ``tracer``
+#: parameter in the pipeline, so the un-traced path never allocates
+NULL_TRACER = Tracer(enabled=False)

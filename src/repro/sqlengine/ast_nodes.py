@@ -126,6 +126,7 @@ class Like(Expression):
     expr: Expression
     pattern: Expression
     negated: bool = False
+    escape: Optional[Expression] = None
 
 
 @dataclass(frozen=True)
@@ -351,6 +352,8 @@ def walk_expression(expr: Expression):
             stack.append(node.expr)
         elif isinstance(node, Like):
             stack.extend((node.expr, node.pattern))
+            if node.escape is not None:
+                stack.append(node.escape)
         elif isinstance(node, IsNull):
             stack.append(node.expr)
         elif isinstance(node, Case):

@@ -42,6 +42,7 @@ from repro.sqlengine.evaluator import (
     Evaluator,
     Frame,
     _arith,
+    _escape_char,
     _like_to_regex,
     _to_str,
     compare,
@@ -344,10 +345,24 @@ class ExpressionCompiler:
         if value_fn is None:
             return None
         negated = expr.negated
-        if isinstance(expr.pattern, ast.Literal) and isinstance(
-            expr.pattern.value, str
+        escape_expr = expr.escape
+        constant_escape = escape_expr is None or isinstance(
+            escape_expr, ast.Literal
+        )
+        if (
+            isinstance(expr.pattern, ast.Literal)
+            and isinstance(expr.pattern.value, str)
+            and constant_escape
         ):
-            regex = _like_to_regex(expr.pattern.value)
+            if escape_expr is not None and escape_expr.value is None:
+                # LIKE ... ESCAPE NULL is NULL for every row
+                return lambda env: None
+            escape = (
+                _escape_char(escape_expr.value)
+                if escape_expr is not None
+                else None
+            )
+            regex = _like_to_regex(expr.pattern.value, escape)
 
             def fn_const(env):
                 value = value_fn(env)
@@ -362,7 +377,13 @@ class ExpressionCompiler:
         pattern_fn = self._compile(expr.pattern, frame)
         if pattern_fn is None:
             return None
-        regex_cache: Dict[str, Any] = {}
+        escape_fn = (
+            self._compile(escape_expr, frame)
+            if escape_expr is not None
+            else None
+        )
+        if escape_expr is not None and escape_fn is None:
+            return None
 
         def fn(env):
             value = value_fn(env)
@@ -371,10 +392,15 @@ class ExpressionCompiler:
                 return None
             if not isinstance(value, str) or not isinstance(pattern, str):
                 raise SqlTypeError("LIKE requires string operands")
-            compiled = regex_cache.get(pattern)
-            if compiled is None:
-                compiled = regex_cache[pattern] = _like_to_regex(pattern)
-            result = bool(compiled.match(value))
+            escape = None
+            if escape_fn is not None:
+                escape_value = escape_fn(env)
+                if escape_value is None:
+                    return None
+                escape = _escape_char(escape_value)
+            # _like_to_regex carries an lru_cache, so dynamic patterns
+            # compile once per distinct (pattern, escape) pair.
+            result = bool(_like_to_regex(pattern, escape).match(value))
             return not result if negated else result
 
         return fn

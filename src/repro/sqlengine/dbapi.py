@@ -146,8 +146,15 @@ class Cursor:
         # not a SqlError, and the retry layer matches it by type.
         faults.check("dbapi.execute")
         statement = self._connection.prepare(operation)
+        tracer = self._connection.database.tracer
         try:
-            self._result = statement.execute(parameters)
+            if tracer.enabled:
+                with tracer.span(
+                    "dbapi.execute", category="sql", sql=operation[:80]
+                ):
+                    self._result = statement.execute(parameters)
+            else:
+                self._result = statement.execute(parameters)
         except SqlError as exc:
             raise DatabaseError(str(exc)) from exc
         self._position = 0

@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import faults
+from repro.obs.spans import NULL_TRACER
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, Index, View
 from repro.sqlengine.compiler import BoundExpr, ExpressionCompiler
@@ -230,6 +231,12 @@ class Database:
         self.statements_executed = 0
         #: statement/plan cache hit-miss counters
         self.cache_stats = CacheStats()
+        #: observability sink; the shared no-op tracer by default, so
+        #: the un-traced hot path pays one attribute check per statement
+        self.tracer = NULL_TRACER
+        #: per-operator instrumentation for the statement in flight
+        #: (installed by :func:`repro.sqlengine.explain.analyze_statement`)
+        self._analyze = None
         self._params: Dict[str, Any] = {}
         self._statement_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
         self._plan_cache: "OrderedDict[int, _SelectPlan]" = OrderedDict()
@@ -274,6 +281,15 @@ class Database:
         if params:
             merged.update(params)
         self._params = merged
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                f"engine.{type(statement).__name__}", category="engine"
+            ):
+                return self._dispatch_statement(statement)
+        return self._dispatch_statement(statement)
+
+    def _dispatch_statement(self, statement: ast.Statement) -> Result:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement)
         if isinstance(statement, ast.CreateTable):
@@ -310,6 +326,23 @@ class Database:
         from repro.sqlengine.explain import explain
 
         return explain(self, sql, params)
+
+    def analyze(self, sql: str, params: Optional[Dict[str, Any]] = None):
+        """Execute *sql* once with per-operator instrumentation.
+
+        Returns the full :class:`~repro.sqlengine.explain.AnalyzeResult`
+        (annotated plan text, structured node stats and the statement's
+        real result) — side-effecting statements run exactly once."""
+        from repro.sqlengine.explain import analyze_statement
+
+        return analyze_statement(self, sql, params)
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """EXPLAIN ANALYZE: the annotated plan text of one real
+        execution (actual rows, loops and wall time per plan node)."""
+        return self.analyze(sql, params).text
 
     def clear_caches(self) -> None:
         """Drop every cached parse and plan (counters are kept)."""
@@ -492,6 +525,8 @@ class Database:
         limit_one: bool,
     ) -> Tuple[List[str], List[Row]]:
         plan = self._select_plan(select)
+        if self._analyze is not None:
+            self._analyze.attach(plan)
         evaluator = plan.evaluator
         # Rebind the statement's host variables: a cached plan must see
         # the parameters of *this* execution.

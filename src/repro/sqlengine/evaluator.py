@@ -9,6 +9,8 @@ predicate is exactly TRUE.
 from __future__ import annotations
 
 import datetime
+import decimal
+import functools
 import math
 import re
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -177,16 +179,49 @@ def compare(op: str, left: Any, right: Any) -> Optional[bool]:
     raise ExecutionError(f"unknown comparison operator {op!r}")
 
 
-def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+@functools.lru_cache(maxsize=512)
+def _like_to_regex(
+    pattern: str, escape: Optional[str] = None
+) -> "re.Pattern[str]":
+    """Translate a LIKE pattern (with optional ESCAPE character) to a
+    compiled regex.  Cached: the translation programs replay the same
+    patterns for every MINE RULE execution, and the interpreter path
+    evaluates LIKE once per row."""
     out = []
-    for ch in pattern:
+    i, size = 0, len(pattern)
+    while i < size:
+        ch = pattern[i]
+        if escape is not None and ch == escape:
+            if i + 1 >= size:
+                raise ExecutionError(
+                    "LIKE pattern ends with its escape character"
+                )
+            follower = pattern[i + 1]
+            if follower not in ("%", "_", escape):
+                raise ExecutionError(
+                    f"invalid LIKE escape sequence {ch + follower!r}: "
+                    f"the escape character must precede %, _ or itself"
+                )
+            out.append(re.escape(follower))
+            i += 2
+            continue
         if ch == "%":
             out.append(".*")
         elif ch == "_":
             out.append(".")
         else:
             out.append(re.escape(ch))
+        i += 1
     return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _escape_char(value: Any) -> str:
+    """Validate a LIKE ESCAPE operand: exactly one character."""
+    if not isinstance(value, str) or len(value) != 1:
+        raise ExecutionError(
+            f"LIKE ESCAPE must be a single character, got {value!r}"
+        )
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -195,14 +230,69 @@ def _like_to_regex(pattern: str) -> "re.Pattern[str]":
 
 
 def _fn_substr(args: List[Any]) -> Any:
+    """Oracle-flavour SUBSTR: positions are 1-based, 0 counts as 1, a
+    negative start counts back from the end of the string, and a start
+    beyond either end — or a length below 1 — yields NULL."""
     if any(a is None for a in args):
         return None
-    string, start = args[0], int(args[1])
+    string = args[0]
+    if not isinstance(string, str):
+        raise SqlTypeError(f"SUBSTR requires a string, got {string!r}")
+    start = int(args[1])
     length = int(args[2]) if len(args) > 2 else None
-    begin = max(start - 1, 0)
+    size = len(string)
+    if start > 0:
+        begin = start - 1
+    elif start == 0:
+        begin = 0
+    else:
+        begin = size + start
+        if begin < 0:
+            return None
+    if begin >= size:
+        return None
     if length is None:
         return string[begin:]
+    if length < 1:
+        return None
     return string[begin : begin + length]
+
+
+def _sql_round(x: Any, n: Any = 0) -> Any:
+    """ROUND with SQL semantics: decimal, half away from zero (Python's
+    ``round`` rounds half to even and works on binary floats, so
+    ``round(2.5) == 2`` and ``round(2.675, 2) == 2.67``)."""
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        raise SqlTypeError(f"ROUND requires a numeric argument, got {x!r}")
+    if isinstance(x, float) and not math.isfinite(x):
+        return x
+    digits = int(n)
+    quantum = decimal.Decimal(1).scaleb(-digits)
+    value = decimal.Decimal(str(x)).quantize(
+        quantum, rounding=decimal.ROUND_HALF_UP
+    )
+    return int(value) if isinstance(x, int) else float(value)
+
+
+def _sql_mod(a: Any, b: Any) -> Any:
+    """MOD with SQL semantics: the result takes the dividend's sign
+    (``MOD(-7, 3) = -1``), unlike Python's floored ``%`` which takes
+    the divisor's; Oracle additionally defines ``MOD(n, 0) = n``."""
+    for operand in (a, b):
+        if isinstance(operand, bool) or not isinstance(operand, (int, float)):
+            raise SqlTypeError(
+                f"MOD requires numeric arguments, got {operand!r}"
+            )
+    if b == 0:
+        return a
+    return _dividend_sign_mod(a, b)
+
+
+def _dividend_sign_mod(a: Any, b: Any) -> Any:
+    if isinstance(a, int) and isinstance(b, int):
+        remainder = abs(a) % abs(b)
+        return -remainder if a < 0 else remainder
+    return math.fmod(a, b)
 
 
 def _null_through(fn: Callable[..., Any]) -> Callable[[List[Any]], Any]:
@@ -236,11 +326,11 @@ SCALAR_FUNCTIONS: Dict[str, Callable[[List[Any]], Any]] = {
     "LENGTH": _null_through(len),
     "TRIM": _null_through(lambda s: s.strip()),
     "ABS": _null_through(abs),
-    "ROUND": _null_through(lambda x, n=0: round(x, int(n))),
+    "ROUND": _null_through(_sql_round),
     "FLOOR": _null_through(lambda x: int(math.floor(x))),
     "CEIL": _null_through(lambda x: int(math.ceil(x))),
     "CEILING": _null_through(lambda x: int(math.ceil(x))),
-    "MOD": _null_through(lambda a, b: a % b),
+    "MOD": _null_through(_sql_mod),
     "POWER": _null_through(lambda a, b: a ** b),
     "SQRT": _null_through(math.sqrt),
     "SUBSTR": _fn_substr,
@@ -379,13 +469,7 @@ class Evaluator:
         values = [self.eval(arg, member) for member in group]
         values = [v for v in values if v is not None]
         if expr.distinct:
-            seen = []
-            unique = []
-            for v in values:
-                if v not in seen:
-                    seen.append(v)
-                    unique.append(v)
-            values = unique
+            values = _distinct_values(values)
         if expr.name == "COUNT":
             return len(values)
         if not values:
@@ -450,7 +534,13 @@ class Evaluator:
             return None
         if not isinstance(value, str) or not isinstance(pattern, str):
             raise SqlTypeError("LIKE requires string operands")
-        result = bool(_like_to_regex(pattern).match(value))
+        escape: Optional[str] = None
+        if expr.escape is not None:
+            escape_value = self.eval(expr.escape, env)
+            if escape_value is None:
+                return None
+            escape = _escape_char(escape_value)
+        result = bool(_like_to_regex(pattern, escape).match(value))
         return not result if expr.negated else result
 
     def _is_null(self, expr: ast.IsNull, env: Optional[Env]) -> Any:
@@ -569,5 +659,27 @@ def _arith(op: str, left: Any, right: Any) -> Any:
     if op == "%":
         if right == 0:
             raise ExecutionError("division by zero")
-        return left % right
+        # SQL remainder takes the dividend's sign, matching MOD().
+        return _dividend_sign_mod(left, right)
     raise ExecutionError(f"unknown operator {op!r}")
+
+
+def _distinct_values(values: List[Any]) -> List[Any]:
+    """Order-preserving dedup for DISTINCT aggregates: hash-based for
+    hashable values, linear scan only for the unhashable remainder.
+    Both paths deduplicate by ``==``, so the semantics match the old
+    full-list scan without its quadratic cost."""
+    seen: set = set()
+    unhashable: List[Any] = []
+    unique: List[Any] = []
+    for v in values:
+        try:
+            if v in seen:
+                continue
+            seen.add(v)
+        except TypeError:
+            if any(v == u for u in unhashable):
+                continue
+            unhashable.append(v)
+        unique.append(v)
+    return unique

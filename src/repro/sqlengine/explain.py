@@ -1,4 +1,4 @@
-"""EXPLAIN: render the physical plan of a SELECT statement.
+"""EXPLAIN and EXPLAIN ANALYZE: render the physical plan of a SELECT.
 
 The translator and benchmarks use this to document which plan shapes
 back the generated queries Q0..Q11 (e.g. that query Q4 runs as a
@@ -16,11 +16,25 @@ Nodes whose expressions were lowered to closures by
 anything without it runs through the tree-walking interpreter.
 EXPLAIN goes through the same statement/plan caches as execution, so
 explaining a hot query is itself cheap.
+
+EXPLAIN ANALYZE additionally *executes* the statement once with every
+operator's row stream instrumented, annotating each node with actual
+rows produced, loop count (how many times the operator was opened) and
+inclusive wall time::
+
+    HashJoin keys=[...] [compiled] (actual rows=57 loops=1 time=0.41 ms)
+
+Instrumentation works by shadowing each operator instance's ``envs``
+method with a counting generator for the duration of one statement
+(:class:`AnalyzeCollector`), so the un-analyzed execution path carries
+zero residue.  Side-effecting statements (CTAS, INSERT .. SELECT) run
+exactly once — the analysis rides along the real execution.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.operators import (
@@ -34,8 +48,15 @@ from repro.sqlengine.operators import (
     RowsSource,
     TableScan,
 )
-from repro.sqlengine.planner import conjoin
+from repro.sqlengine.planner import conjoin, plan_operators
 from repro.sqlengine.render import render_expr
+
+#: annotation callback: operator (or None for synthetic lines) -> suffix
+Annotator = Callable[[Optional[Operator]], str]
+
+
+def _no_annotation(op: Optional[Operator]) -> str:
+    return ""
 
 
 def _mark(compiled: bool) -> str:
@@ -52,37 +73,60 @@ def explain(database: Any, sql: str, params: Optional[dict] = None) -> str:
         merged.update(params)
     database._params = merged
     plan = database._select_plan(statement)
+    return render_plan(statement, plan)
 
+
+def render_plan(
+    statement: ast.Select,
+    plan: Any,
+    annotate: Annotator = _no_annotation,
+    indent: int = 0,
+) -> str:
+    """Render one planned SELECT as an indented tree, suffixing every
+    line *annotate* has something to say about."""
     lines: List[str] = []
     project_compiled = plan.projector is not None and plan.projector.compiled
-    lines.append(_projection_line(statement) + _mark(project_compiled))
-    indent = 1
+    lines.append(
+        "  " * indent
+        + _projection_line(statement)
+        + _mark(project_compiled)
+        + annotate(None)
+    )
+    indent += 1
     if statement.order_by:
         lines.append("  " * indent + f"Sort ({len(statement.order_by)} keys)")
         indent += 1
-    if statement.group_by or statement.having is not None:
+    if (
+        statement.group_by
+        or statement.having is not None
+        or isinstance(plan.source, GroupAggregate)
+    ):
         having = (
             f" having={render_expr(statement.having)}"
             if statement.having is not None
             else ""
         )
         keys = ", ".join(render_expr(e) for e in statement.group_by) or "<all>"
-        aggregate_compiled = isinstance(
-            plan.source, GroupAggregate
-        ) and plan.source.compiled
+        aggregate = (
+            plan.source if isinstance(plan.source, GroupAggregate) else None
+        )
+        aggregate_compiled = aggregate is not None and aggregate.compiled
         lines.append(
             "  " * indent
             + f"Aggregate keys=({keys}){having}"
             + _mark(aggregate_compiled)
+            + annotate(aggregate)
         )
         indent += 1
     residual = conjoin(plan.leftovers)
     if residual is not None:
+        filter_op: Optional[Operator] = None
         if plan.predicate is not None:
             filter_compiled = plan.predicate.compiled
         elif isinstance(plan.source, GroupAggregate) and isinstance(
             plan.source.child, Filter
         ):
+            filter_op = plan.source.child
             filter_compiled = plan.source.child.compiled
         else:
             filter_compiled = False
@@ -90,12 +134,13 @@ def explain(database: Any, sql: str, params: Optional[dict] = None) -> str:
             "  " * indent
             + f"Filter {render_expr(residual)}"
             + _mark(filter_compiled)
+            + annotate(filter_op)
         )
         indent += 1
     if plan.root is None:
         lines.append("  " * indent + "SingleRow")
     else:
-        _render_operator(plan.root, indent, lines)
+        _render_operator(plan.root, indent, lines, annotate)
     return "\n".join(lines)
 
 
@@ -112,49 +157,56 @@ def _projection_line(statement: ast.Select) -> str:
     return f"Project{flags} ({', '.join(items)})"
 
 
-def _render_operator(op: Operator, indent: int, lines: List[str]) -> None:
+def _render_operator(
+    op: Operator,
+    indent: int,
+    lines: List[str],
+    annotate: Annotator = _no_annotation,
+) -> None:
     pad = "  " * indent
     mark = _mark(getattr(op, "compiled", False))
+    suffix = annotate(op)
     if isinstance(op, TableScan):
         alias = f" as {op.binding}" if op.binding != op.table.name else ""
         lines.append(f"{pad}Scan {op.table.name}{alias} "
-                     f"({len(op.table)} rows)")
+                     f"({len(op.table)} rows){suffix}")
     elif isinstance(op, IndexLookup):
         keys = ", ".join(
             f"{column} = {render_expr(expr)}"
             for column, expr in zip(op.index.columns, op.key_exprs)
         )
         lines.append(
-            f"{pad}IndexLookup {op.table.name}.{op.index.name} [{keys}]{mark}"
+            f"{pad}IndexLookup {op.table.name}.{op.index.name} "
+            f"[{keys}]{mark}{suffix}"
         )
     elif isinstance(op, RowsSource):
         name = op.frame.sources[0][0] or "<derived>"
-        lines.append(f"{pad}Materialized {name} ({len(op.rows)} rows)")
+        lines.append(f"{pad}Materialized {name} ({len(op.rows)} rows){suffix}")
     elif isinstance(op, Filter):
-        lines.append(f"{pad}Filter {render_expr(op.predicate)}{mark}")
-        _render_operator(op.child, indent + 1, lines)
+        lines.append(f"{pad}Filter {render_expr(op.predicate)}{mark}{suffix}")
+        _render_operator(op.child, indent + 1, lines, annotate)
     elif isinstance(op, LeftOuterHashJoin):
-        lines.append(f"{pad}LeftOuterHashJoin {_join_detail(op)}{mark}")
-        _render_operator(op.left, indent + 1, lines)
-        _render_operator(op.right, indent + 1, lines)
+        lines.append(f"{pad}LeftOuterHashJoin {_join_detail(op)}{mark}{suffix}")
+        _render_operator(op.left, indent + 1, lines, annotate)
+        _render_operator(op.right, indent + 1, lines, annotate)
     elif isinstance(op, HashJoin):
-        lines.append(f"{pad}HashJoin {_join_detail(op)}{mark}")
-        _render_operator(op.left, indent + 1, lines)
-        _render_operator(op.right, indent + 1, lines)
+        lines.append(f"{pad}HashJoin {_join_detail(op)}{mark}{suffix}")
+        _render_operator(op.left, indent + 1, lines, annotate)
+        _render_operator(op.right, indent + 1, lines, annotate)
     elif isinstance(op, NestedLoopJoin):
         predicate = (
             f" on {render_expr(op.predicate)}" if op.predicate is not None
             else ""
         )
-        lines.append(f"{pad}NestedLoopJoin{predicate}{mark}")
-        _render_operator(op.left, indent + 1, lines)
-        _render_operator(op.right, indent + 1, lines)
+        lines.append(f"{pad}NestedLoopJoin{predicate}{mark}{suffix}")
+        _render_operator(op.left, indent + 1, lines, annotate)
+        _render_operator(op.right, indent + 1, lines, annotate)
     elif isinstance(op, GroupAggregate):
         keys = ", ".join(render_expr(k) for k in op.keys) or "<all>"
-        lines.append(f"{pad}Aggregate keys=({keys}){mark}")
-        _render_operator(op.child, indent + 1, lines)
+        lines.append(f"{pad}Aggregate keys=({keys}){mark}{suffix}")
+        _render_operator(op.child, indent + 1, lines, annotate)
     else:  # pragma: no cover - future operators
-        lines.append(f"{pad}{type(op).__name__}")
+        lines.append(f"{pad}{type(op).__name__}{suffix}")
 
 
 def _join_detail(op) -> str:
@@ -166,3 +218,183 @@ def _join_detail(op) -> str:
     if op.residual is not None:
         detail += f" residual={render_expr(op.residual)}"
     return detail
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+
+class NodeStats:
+    """Actual execution counters of one plan node."""
+
+    __slots__ = ("rows", "loops", "seconds")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.loops = 0
+        self.seconds = 0.0
+
+
+class AnalyzeCollector:
+    """Per-statement operator instrumentation.
+
+    The engine installs a collector on itself for the duration of one
+    statement; ``_run_select_core`` calls :meth:`attach` with every
+    plan it executes (including subquery plans), and the collector
+    shadows each operator instance's ``envs`` with a generator that
+    counts loops and produced rows and accumulates inclusive wall
+    time.  :meth:`detach` removes every shadow, restoring the class
+    method, so nothing leaks into later executions of a cached plan.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        #: plans in attach order; the statement's own SELECT comes
+        #: first, subquery/derived-table plans follow
+        self.plans: List[Any] = []
+        self.stats: Dict[int, NodeStats] = {}
+        self._wrapped: List[Operator] = []
+
+    def attach(self, plan: Any) -> None:
+        if not any(existing is plan for existing in self.plans):
+            self.plans.append(plan)
+        for op in plan_operators(plan.source):
+            if "envs" not in op.__dict__:
+                self._wrap(op)
+
+    def _wrap(self, op: Operator) -> None:
+        stats = self.stats.setdefault(id(op), NodeStats())
+        original = op.envs
+        clock = self._clock
+
+        def instrumented(parent=None):
+            stats.loops += 1
+            started = clock()
+            iterator = original(parent)
+            while True:
+                try:
+                    env = next(iterator)
+                except StopIteration:
+                    stats.seconds += clock() - started
+                    return
+                stats.seconds += clock() - started
+                stats.rows += 1
+                yield env
+                started = clock()
+
+        op.envs = instrumented  # type: ignore[method-assign]
+        self._wrapped.append(op)
+
+    def detach(self) -> None:
+        for op in self._wrapped:
+            op.__dict__.pop("envs", None)
+        self._wrapped.clear()
+
+    # -- reporting ------------------------------------------------------
+
+    def annotator(self) -> Annotator:
+        def annotate(op: Optional[Operator]) -> str:
+            if op is None:
+                return ""
+            stats = self.stats.get(id(op))
+            if stats is None:
+                return ""
+            return (
+                f" (actual rows={stats.rows} loops={stats.loops} "
+                f"time={stats.seconds * 1000:.3f} ms)"
+            )
+
+        return annotate
+
+    def nodes(self) -> List[Dict[str, Any]]:
+        """Structured per-node stats, plan by plan in walk order."""
+        out: List[Dict[str, Any]] = []
+        for plan_index, plan in enumerate(self.plans):
+            for op in plan_operators(plan.source):
+                stats = self.stats.get(id(op))
+                if stats is None:
+                    continue
+                out.append(
+                    {
+                        "plan": plan_index,
+                        "operator": type(op).__name__,
+                        "rows": stats.rows,
+                        "loops": stats.loops,
+                        "seconds": stats.seconds,
+                    }
+                )
+        return out
+
+
+class AnalyzeResult:
+    """Outcome of one EXPLAIN ANALYZE run: the annotated plan text,
+    structured node stats, and the statement's real result."""
+
+    __slots__ = ("statement", "result", "text", "nodes", "seconds")
+
+    def __init__(self, statement, result, text, nodes, seconds):
+        self.statement = statement
+        self.result = result
+        self.text = text
+        self.nodes = nodes
+        self.seconds = seconds
+
+    @property
+    def rowcount(self) -> int:
+        if self.result.columns:
+            return len(self.result.rows)
+        return self.result.rowcount
+
+
+def analyze_statement(
+    database: Any, sql: str, params: Optional[dict] = None
+) -> AnalyzeResult:
+    """Execute *sql* once with operator instrumentation and return the
+    annotated plan plus the statement's result."""
+    statement = database._parse_statement(sql)
+    collector = AnalyzeCollector()
+    database._analyze = collector
+    started = time.perf_counter()
+    try:
+        result = database.execute_ast(statement, params)
+    finally:
+        database._analyze = None
+        collector.detach()
+    seconds = time.perf_counter() - started
+    text = _render_analyzed(statement, collector, result, seconds)
+    return AnalyzeResult(
+        statement, result, text, collector.nodes(), seconds
+    )
+
+
+def _render_analyzed(
+    statement: ast.Statement,
+    collector: AnalyzeCollector,
+    result: Any,
+    seconds: float,
+) -> str:
+    annotate = collector.annotator()
+    lines: List[str] = []
+    if not isinstance(statement, ast.Select):
+        lines.append(f"{type(statement).__name__}")
+    if not collector.plans:
+        lines.append("(no plan: executed directly)")
+    for index, plan in enumerate(collector.plans):
+        if index:
+            lines.append("-- subplan --")
+        lines.append(
+            render_plan(
+                plan.select,
+                plan,
+                annotate,
+                indent=1 if not isinstance(statement, ast.Select) else 0,
+            )
+        )
+    rowcount = (
+        len(result.rows) if result.columns else result.rowcount
+    )
+    lines.append(
+        f"Execution: {rowcount} rows in {seconds * 1000:.3f} ms"
+    )
+    return "\n".join(lines)

@@ -32,7 +32,7 @@ class TokenType(enum.Enum):
 KEYWORDS = frozenset(
     """
     SELECT DISTINCT ALL FROM WHERE GROUP BY HAVING ORDER ASC DESC
-    AND OR NOT IN BETWEEN LIKE IS NULL TRUE FALSE UNKNOWN EXISTS
+    AND OR NOT IN BETWEEN LIKE ESCAPE IS NULL TRUE FALSE UNKNOWN EXISTS
     CREATE TABLE VIEW SEQUENCE INDEX DROP DELETE UPDATE SET INSERT INTO VALUES
     AS ON UNION INTERSECT EXCEPT CASE WHEN THEN ELSE END CAST
     COUNT SUM AVG MIN MAX LIMIT OFFSET DATE JOIN INNER LEFT RIGHT OUTER CROSS

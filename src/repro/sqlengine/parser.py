@@ -350,7 +350,13 @@ class Parser:
                 expr = self._in_tail(expr, negated)
                 continue
             if self._accept_keyword("LIKE"):
-                expr = ast.Like(expr, self._additive(), negated)
+                pattern = self._additive()
+                escape = (
+                    self._additive()
+                    if self._accept_keyword("ESCAPE")
+                    else None
+                )
+                expr = ast.Like(expr, pattern, negated, escape)
                 continue
             if self._accept_keyword("IS"):
                 is_negated = self._accept_keyword("NOT")

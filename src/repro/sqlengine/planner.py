@@ -47,6 +47,24 @@ def conjoin(conjuncts: Sequence[ast.Expression]) -> Optional[ast.Expression]:
     return result
 
 
+def plan_operators(root: Optional[Operator]):
+    """Depth-first walk over an operator tree, parents before children.
+
+    The canonical enumeration of a plan's physical nodes, shared by
+    EXPLAIN ANALYZE instrumentation and the plan renderer — both must
+    agree on exactly which operators a plan contains."""
+    if root is None:
+        return
+    stack: List[Operator] = [root]
+    while stack:
+        op = stack.pop()
+        yield op
+        for attr in ("child", "left", "right"):
+            sub = getattr(op, attr, None)
+            if sub is not None:
+                stack.append(sub)
+
+
 def _contains_subquery(expr: ast.Expression) -> bool:
     for node in ast.walk_expression(expr):
         if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):

@@ -102,7 +102,13 @@ class _Renderer:
 
     def _like(self, expr: ast.Like) -> str:
         negation = " NOT" if expr.negated else ""
-        return f"({self.render(expr.expr)}{negation} LIKE {self.render(expr.pattern)})"
+        rendered = (
+            f"({self.render(expr.expr)}{negation} LIKE "
+            f"{self.render(expr.pattern)}"
+        )
+        if expr.escape is not None:
+            rendered += f" ESCAPE {self.render(expr.escape)}"
+        return rendered + ")"
 
     def _is_null(self, expr: ast.IsNull) -> str:
         negation = " NOT" if expr.negated else ""

@@ -30,7 +30,7 @@ counters and the text report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro import faults
@@ -49,6 +49,7 @@ from repro.kernel.program import StageCheckpoint, TranslationProgram
 from repro.kernel.trace import ProcessFlow
 from repro.kernel.translator import Translator
 from repro.minerule.statements import MineRuleStatement
+from repro.obs.spans import NULL_TRACER, Tracer
 from repro.sqlengine.engine import Database
 from repro.sqlengine.render import render_expr
 
@@ -107,8 +108,14 @@ class MiningSystem:
         reuse_preprocessing: bool = True,
         representation: str = "bitset",
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.db = database if database is not None else Database()
+        #: observability sink for the whole pipeline (spans, counters,
+        #: gauges); shared with the SQL engine so statement spans nest
+        #: inside the component spans
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.db.tracer = self.tracer
         self.representation = validate_representation(representation)
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
@@ -158,7 +165,22 @@ class MiningSystem:
         policy = retry if retry is not None else self.retry_policy
         if policy is None:
             policy = RetryPolicy.single()
-        flow = ProcessFlow()
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run_pipeline(statement_text, resume, policy)
+        with tracer.span(
+            "minerule.run",
+            category="minerule",
+            statement=" ".join(statement_text.split())[:120],
+        ):
+            result = self._run_pipeline(statement_text, resume, policy)
+        self._publish_observations(result)
+        return result
+
+    def _run_pipeline(
+        self, statement_text: str, resume: bool, policy: RetryPolicy
+    ) -> MiningResult:
+        flow = ProcessFlow(tracer=self.tracer)
         resilience = ResilienceStats()
         schedule = faults.active()
         fault_mark = schedule.snapshot() if schedule is not None else None
@@ -506,6 +528,36 @@ class MiningSystem:
         )
         flow.stop()
         return decoded
+
+    def _publish_observations(self, result: MiningResult) -> None:
+        """Push end-of-run statistics into the tracer's registry so the
+        trace export and the consolidated report see one snapshot."""
+        tracer = self.tracer
+        cache = self.db.cache_stats
+        tracer.gauge("engine.statements_executed", self.db.statements_executed)
+        tracer.gauge("engine.statement_cache_hits", cache.statement_hits)
+        tracer.gauge("engine.statement_cache_misses", cache.statement_misses)
+        tracer.gauge("engine.plan_cache_hits", cache.plan_hits)
+        tracer.gauge("engine.plan_cache_misses", cache.plan_misses)
+        tracer.gauge("rules.decoded", len(result.rules))
+        stats = result.preprocess_stats
+        if stats is not None:
+            tracer.gauge("preprocessor.totg", stats.totg)
+            tracer.gauge("preprocessor.mingroups", stats.mingroups)
+        core = result.core_stats
+        if core is not None:
+            tracer.gauge("core.variant", core.variant)
+            tracer.gauge("core.representation", core.representation)
+            if core.popcount_calls:
+                tracer.gauge("core.popcounts", core.popcount_calls)
+            if core.intersections:
+                tracer.gauge("core.intersections", core.intersections)
+            if core.join_pairs_examined:
+                tracer.gauge(
+                    "core.join_pairs_examined", core.join_pairs_examined
+                )
+        # resilience counters (faults, retries, stages_resumed,
+        # degradations) already forward through ProcessFlow.bump
 
     # ------------------------------------------------------------------
     # checkpoints

@@ -72,6 +72,17 @@ QUERIES = [
     "SELECT k FROM t UNION SELECT k + 10 FROM t",
     "SELECT k FROM t EXCEPT SELECT k FROM t WHERE c = 'red'",
     "SELECT k FROM t INTERSECT SELECT k FROM t WHERE v > 0",
+    # % must take the dividend's sign (both engines agree)
+    "SELECT k, v % 3 FROM t WHERE v IS NOT NULL",
+    "SELECT k, v % -3 FROM t WHERE v IS NOT NULL",
+    # DISTINCT aggregates over duplicates and NULLs
+    "SELECT COUNT(DISTINCT v) FROM t",
+    "SELECT k, COUNT(DISTINCT c) FROM t GROUP BY k",
+    "SELECT SUM(DISTINCT v), AVG(DISTINCT v) FROM t",
+    # ROUND at n=0 on half grids agrees with SQLite (away from zero)
+    "SELECT ROUND(v + 0.5) FROM t WHERE v IS NOT NULL",
+    "SELECT ROUND(v - 0.5) FROM t WHERE v IS NOT NULL",
+    "SELECT ROUND(v * 0.5) FROM t WHERE v IS NOT NULL",
 ]
 
 
@@ -85,6 +96,77 @@ def test_differential_against_sqlite(query, rows):
         assert mine == theirs, f"divergence on: {query}"
     finally:
         lite.close()
+
+
+# LIKE pattern tokens that are always valid under ESCAPE '!': the
+# escape character only ever precedes %, _ or itself.  Lowercase only —
+# SQLite's LIKE is ASCII-case-insensitive, ours is case-sensitive.
+_LIKE_TOKENS = ["a", "b", "c", "%", "_", "!%", "!_", "!!"]
+
+
+@given(
+    strings=st.lists(
+        st.text(alphabet="abc%_!", max_size=6), min_size=1, max_size=12
+    ),
+    tokens=st.lists(st.sampled_from(_LIKE_TOKENS), max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_like_escape_differential(strings, tokens):
+    pattern = "".join(tokens)
+    engine = Database()
+    engine.execute("CREATE TABLE t (s VARCHAR)")
+    table = engine.table("t")
+    lite = sqlite3.connect(":memory:")
+    lite.execute("CREATE TABLE t (s TEXT)")
+    try:
+        for s in strings:
+            table.insert((s,))
+            lite.execute("INSERT INTO t VALUES (?)", (s,))
+        query = f"SELECT s FROM t WHERE s LIKE '{pattern}' ESCAPE '!'"
+        mine, theirs = both(engine, lite, query)
+        assert mine == theirs, f"divergence on pattern {pattern!r}"
+    finally:
+        lite.close()
+
+
+def _substr_reference(string, start, length=None):
+    """Oracle SUBSTR reference model in plain Python."""
+    size = len(string)
+    if start > 0:
+        begin = start - 1
+    elif start == 0:
+        begin = 0
+    else:
+        begin = size + start
+        if begin < 0:
+            return None
+    if begin >= size:
+        return None
+    if length is None:
+        return string[begin:]
+    if length < 1:
+        return None
+    return string[begin : begin + length]
+
+
+@given(
+    string=st.text(alphabet="abcdef", max_size=8),
+    start=st.integers(min_value=-10, max_value=10),
+    length=st.one_of(st.none(), st.integers(min_value=-3, max_value=10)),
+)
+@settings(max_examples=120, deadline=None)
+def test_substr_matches_reference_model(string, start, length):
+    engine = Database()
+    if length is None:
+        got = engine.execute(
+            "SELECT SUBSTR(:s, :b)", {"s": string, "b": start}
+        ).scalar()
+    else:
+        got = engine.execute(
+            "SELECT SUBSTR(:s, :b, :n)",
+            {"s": string, "b": start, "n": length},
+        ).scalar()
+    assert got == _substr_reference(string, start, length)
 
 
 class TestKnownSemanticChoices:

@@ -147,6 +147,73 @@ class TestBatchMain:
         assert "directives" in capsys.readouterr().out
 
 
+class TestObservabilityCommands:
+    def traced_shell(self):
+        from repro.obs import Tracer
+
+        sh = Shell(tracer=Tracer(enabled=True, analyze=True))
+        sh.execute(".load purchase")
+        return sh
+
+    def test_analyze_meta_shows_actuals(self, shell):
+        out = shell.execute(".analyze SELECT item FROM Purchase "
+                            "WHERE price > 100")
+        assert "actual rows=" in out
+        assert "Execution:" in out
+
+    def test_analyze_requires_argument(self, shell):
+        assert "usage" in shell.execute(".analyze")
+
+    def test_explain_analyze_sql_prefix(self, shell):
+        out = shell.execute(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM Purchase"
+        )
+        assert "actual rows=" in out
+
+    def test_explain_sql_prefix(self, shell):
+        out = shell.execute("EXPLAIN SELECT item FROM Purchase")
+        assert "Scan Purchase" in out
+        assert "actual rows=" not in out
+
+    def test_trace_off_by_default(self, shell):
+        assert "tracing is off" in shell.execute(".trace")
+
+    def test_trace_reports_spans(self):
+        sh = self.traced_shell()
+        sh.execute(MINE)
+        out = sh.execute(".trace")
+        assert "spans" in out
+
+    def test_trace_writes_chrome_json(self, tmp_path):
+        import json
+
+        sh = self.traced_shell()
+        sh.execute(MINE)
+        target = tmp_path / "trace.json"
+        out = sh.execute(f".trace {target}")
+        assert "wrote" in out
+        data = json.loads(target.read_text(encoding="utf-8"))
+        names = {e["name"] for e in data["traceEvents"]}
+        assert "preprocessor" in names
+
+    def test_trace_out_flag_writes_on_exit(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "run.json"
+        code = main([
+            "--trace-out", str(target),
+            "-c", ".load purchase",
+            "-c", MINE,
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        data = json.loads(target.read_text(encoding="utf-8"))
+        names = {e["name"] for e in data["traceEvents"]}
+        for component in ("translator", "preprocessor", "core",
+                          "postprocessor"):
+            assert component in names
+
+
 class TestDumpRestore:
     def test_dump_and_restore_roundtrip(self, shell, tmp_path):
         target = tmp_path / "session"

@@ -36,6 +36,21 @@ class TestStringFunctions:
     def test_substring_synonym(self, db):
         assert scalar(db, "SUBSTRING('abc', 1, 1)") == "a"
 
+    def test_substr_zero_start_counts_from_one(self, db):
+        # Oracle: position 0 is treated as position 1
+        assert scalar(db, "SUBSTR('abcdef', 0, 3)") == "abc"
+
+    def test_substr_negative_start_counts_from_end(self, db):
+        assert scalar(db, "SUBSTR('abcdef', -3)") == "def"
+        assert scalar(db, "SUBSTR('abcdef', -3, 2)") == "de"
+        assert scalar(db, "SUBSTR('abcdef', -6)") == "abcdef"
+
+    def test_substr_out_of_range_is_null(self, db):
+        assert scalar(db, "SUBSTR('abcdef', 9)") is None
+        assert scalar(db, "SUBSTR('abcdef', -9)") is None
+        assert scalar(db, "SUBSTR('abcdef', 2, 0)") is None
+        assert scalar(db, "SUBSTR('abcdef', 2, -1)") is None
+
     def test_null_propagates(self, db):
         assert scalar(db, "UPPER(NULL)") is None
         assert scalar(db, "SUBSTR(NULL, 1)") is None
@@ -52,7 +67,25 @@ class TestNumericFunctions:
 
     def test_round(self, db):
         assert scalar(db, "ROUND(2.567, 2)") == 2.57
-        assert scalar(db, "ROUND(2.5)") == 2  # banker's rounding
+        assert scalar(db, "ROUND(2.5)") == 3  # half away from zero
+
+    def test_round_half_away_from_zero(self, db):
+        # SQL ROUND, not Python's banker's rounding
+        assert scalar(db, "ROUND(0.5)") == 1
+        assert scalar(db, "ROUND(1.5)") == 2
+        assert scalar(db, "ROUND(-0.5)") == -1
+        assert scalar(db, "ROUND(-2.5)") == -3
+        assert scalar(db, "ROUND(2.675, 2)") == 2.68
+        assert scalar(db, "ROUND(-2.675, 2)") == -2.68
+
+    def test_round_negative_digits_and_ints(self, db):
+        assert scalar(db, "ROUND(1250, -2)") == 1300
+        assert scalar(db, "ROUND(1249, -2)") == 1200
+        assert scalar(db, "ROUND(-1250, -2)") == -1300
+        # int in, int out; float in, float out
+        assert scalar(db, "ROUND(7)") == 7
+        assert isinstance(scalar(db, "ROUND(7)"), int)
+        assert isinstance(scalar(db, "ROUND(7.0)"), float)
 
     def test_floor_ceil(self, db):
         assert scalar(db, "FLOOR(2.9)") == 2
@@ -61,6 +94,25 @@ class TestNumericFunctions:
 
     def test_mod(self, db):
         assert scalar(db, "MOD(7, 3)") == 1
+
+    def test_mod_takes_dividend_sign(self, db):
+        # SQL MOD follows the dividend, unlike Python's % operator
+        assert scalar(db, "MOD(-7, 3)") == -1
+        assert scalar(db, "MOD(7, -3)") == 1
+        assert scalar(db, "MOD(-7, -3)") == -1
+        assert scalar(db, "MOD(-7.5, 2)") == -1.5
+
+    def test_mod_by_zero_returns_dividend(self, db):
+        # Oracle semantics: MOD(n, 0) = n
+        assert scalar(db, "MOD(7, 0)") == 7
+        assert scalar(db, "MOD(-7, 0)") == -7
+
+    def test_percent_operator_matches_mod(self, db):
+        for a in (-7, -1, 0, 1, 7):
+            for b in (-3, -2, 2, 3):
+                assert scalar(db, f"{a} % {b}") == scalar(
+                    db, f"MOD({a}, {b})"
+                )
 
     def test_power_sqrt(self, db):
         assert scalar(db, "POWER(2, 10)") == 1024
