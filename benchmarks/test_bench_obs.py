@@ -1,4 +1,4 @@
-"""PR 4 — observability overhead.
+"""PR 4/PR 5 — observability overhead.
 
 The tracing layer promises zero overhead when disabled: every hot-path
 hook is a single attribute check on the shared :data:`NULL_TRACER`.
@@ -7,6 +7,11 @@ absent (seed behaviour), tracer enabled, tracer enabled with
 EXPLAIN ANALYZE capture — and asserts the disabled path stays within
 5% of the seed (the CI smoke gate), recording all three in
 ``BENCH_PR4.json``.
+
+PR 5 extends the same contract to the metrics registry: with metrics
+disabled (the shared :data:`NULL_REGISTRY`) the pipeline must stay
+within the same overhead gate, and with metrics enabled the well-known
+series must actually materialize.  Recorded in ``BENCH_PR5.json``.
 """
 
 import time
@@ -14,9 +19,10 @@ import time
 from benchmarks.conftest import BENCH_QUICK, bench_report, fresh_system
 from repro import Database
 from repro.datagen import QuestParameters, load_quest
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 REPORT, write_report = bench_report("BENCH_PR4.json")
+REPORT5, write_report5 = bench_report("BENCH_PR5.json")
 
 STATEMENT = """
 MINE RULE ObsRules AS
@@ -110,3 +116,74 @@ def test_null_tracer_is_shared():
     system = fresh_system(quest_database())
     assert system.tracer is NULL_TRACER
     assert system.db.tracer is NULL_TRACER
+
+
+# ----------------------------------------------------------------------
+# PR 5 — metrics registry
+# ----------------------------------------------------------------------
+
+
+def run_pipeline_metrics(metrics, rounds=ROUNDS):
+    """Best-of wall time of one full MINE RULE run with *metrics* (no
+    tracer — isolates the registry's own cost).  Min rather than median:
+    the disabled-path gate compares two configurations that should be
+    *identical*, so the least-noise estimator is the fair one."""
+    samples = []
+    for _ in range(rounds):
+        kwargs = {} if metrics is None else {"metrics": metrics}
+        system = fresh_system(quest_database(), **kwargs)
+        started = time.perf_counter()
+        result = system.execute(STATEMENT)
+        samples.append(time.perf_counter() - started)
+        assert result.rules
+    return min(samples)
+
+
+def test_disabled_metrics_overhead_within_gate():
+    """Metrics off (the seed path) must stay inside the same overhead
+    gate as disabled tracing: one ``registry.enabled`` /
+    ``_im is None`` check per hook."""
+    baseline = run_pipeline_metrics(None)  # NULL_REGISTRY default
+    disabled = run_pipeline_metrics(MetricsRegistry(enabled=False))
+    ratio = disabled / baseline
+    REPORT5["metrics_overhead"] = {
+        "baseline_ms": baseline * 1000,
+        "disabled_ms": disabled * 1000,
+        "disabled_ratio": ratio,
+        "limit": OVERHEAD_LIMIT,
+        "quick": BENCH_QUICK,
+    }
+    assert ratio < OVERHEAD_LIMIT, (
+        f"disabled metrics slowed the pipeline by "
+        f"{(ratio - 1) * 100:.1f}% (limit {OVERHEAD_LIMIT})"
+    )
+
+
+def test_enabled_metrics_cost_and_series():
+    """With the registry live the well-known series must materialize,
+    and the cost must stay small (it is counter bumps and histogram
+    observes, not row-stream wrapping like EXPLAIN ANALYZE)."""
+    baseline = run_pipeline_metrics(None)
+    registry = MetricsRegistry()
+    enabled = run_pipeline_metrics(registry, rounds=max(1, ROUNDS // 2))
+
+    hist = registry.get("repro_sql_statement_seconds")
+    assert hist is not None and hist.kind == "histogram"
+    assert any(
+        state.count > 0 for _, state in hist.samples()
+    ), "per-statement SQL latency histogram never observed"
+
+    stages = registry.get("repro_preprocess_stage_seconds")
+    assert stages is not None
+    assert stages.state(stage="Q1") is not None
+
+    runs = registry.get("repro_minerule_runs_total")
+    assert runs.value(status="ok") >= 1
+
+    REPORT5["metrics_enabled"] = {
+        "baseline_ms": baseline * 1000,
+        "enabled_ms": enabled * 1000,
+        "enabled_ratio": enabled / baseline,
+        "families": len(registry.collect()),
+    }
+    assert enabled / baseline < 3.0

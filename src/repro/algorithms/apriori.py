@@ -68,6 +68,7 @@ class Apriori(FrequentItemsetMiner):
         intersections = 0
 
         singleton_maps = self.item_gid_bitmaps(groups, universe)
+        self.stats.sample_density(singleton_maps.values(), len(universe))
         gid_maps: Dict[Tuple[int, ...], int] = {}
         for item, bitmap in singleton_maps.items():
             support = bitmap.bit_count()
@@ -76,10 +77,14 @@ class Apriori(FrequentItemsetMiner):
                 key = (item,)
                 gid_maps[key] = bitmap
                 counts[frozenset(key)] = support
+        self.stats.passes += 1
+        self.stats.candidates += len(singleton_maps)
 
         current = gid_maps
         while current:
             candidates = self.join_candidates(current.keys())
+            self.stats.passes += 1
+            self.stats.candidates += len(candidates)
             next_level: Dict[Tuple[int, ...], int] = {}
             for candidate in candidates:
                 left = current[candidate[:-1]]
@@ -110,10 +115,14 @@ class Apriori(FrequentItemsetMiner):
                 key = (item,)
                 gid_lists[key] = gids
                 counts[frozenset(key)] = len(gids)
+        self.stats.passes += 1
+        self.stats.candidates += len(singleton_lists)
 
         current = gid_lists
         while current:
             candidates = self.join_candidates(current.keys())
+            self.stats.passes += 1
+            self.stats.candidates += len(candidates)
             next_level: Dict[Tuple[int, ...], Set[int]] = {}
             for candidate in candidates:
                 left = current[candidate[:-1]]

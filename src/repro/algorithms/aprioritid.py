@@ -63,6 +63,8 @@ class AprioriTid(FrequentItemsetMiner):
         )
         for itemset in frequent1:
             counts[frozenset(itemset)] = item_counts[itemset[0]]
+        self.stats.passes += 1
+        self.stats.candidates += len(item_counts)
 
         # \bar C_1 packed: group -> bitmap over the frequent singleton
         # slots (slot order = ascending item id, deterministic).
@@ -80,11 +82,15 @@ class AprioriTid(FrequentItemsetMiner):
             if present:
                 encoded[gid] = present
 
+        self.stats.sample_density(encoded.values(), len(frequent1))
+
         frequent: List[Tuple[int, ...]] = frequent1
         while frequent:
             candidates = sorted(self.join_candidates(frequent))
             if not candidates:
                 break
+            self.stats.passes += 1
+            self.stats.candidates += len(candidates)
             # For each candidate, the mask of its two generating
             # (k-1)-subsets in the previous level's slot layout.
             generator_masks = [
@@ -132,6 +138,8 @@ class AprioriTid(FrequentItemsetMiner):
         ]
         for itemset in frequent1:
             counts[frozenset(itemset)] = item_counts[itemset[0]]
+        self.stats.passes += 1
+        self.stats.candidates += len(item_counts)
 
         # \bar C_1: group -> set of frequent singleton candidates present.
         frequent1_set = {t[0] for t in frequent1}
@@ -146,6 +154,8 @@ class AprioriTid(FrequentItemsetMiner):
             candidates = self.join_candidates(frequent)
             if not candidates:
                 break
+            self.stats.passes += 1
+            self.stats.candidates += len(candidates)
             # Index candidates by their two generating (k-1)-subsets.
             generators: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], ...]] = {}
             for candidate in candidates:

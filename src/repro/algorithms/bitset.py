@@ -43,12 +43,20 @@ class BitsetStats:
     ``"triple"``) to the number of slots interned; ``popcount_calls``
     counts support evaluations (``bit_count`` or distinct-group
     scans); ``intersections`` counts bitmap ``&`` operations on the
-    measured hot paths.
+    measured hot paths.  ``passes`` counts levelwise (or recursive)
+    rounds over the lattice, ``candidates`` the itemsets generated for
+    support evaluation.  ``bits_set``/``bits_possible`` sample bitmap
+    occupancy at construction — their ratio (:meth:`density`) tells the
+    bench whether the workload favors the packed layout.
     """
 
     universe_sizes: Dict[str, int] = None  # type: ignore[assignment]
     popcount_calls: int = 0
     intersections: int = 0
+    passes: int = 0
+    candidates: int = 0
+    bits_set: int = 0
+    bits_possible: int = 0
 
     def __post_init__(self) -> None:
         if self.universe_sizes is None:
@@ -61,11 +69,35 @@ class BitsetStats:
             )
         self.popcount_calls += other.popcount_calls
         self.intersections += other.intersections
+        self.passes += other.passes
+        self.candidates += other.candidates
+        self.bits_set += other.bits_set
+        self.bits_possible += other.bits_possible
 
     def clear(self) -> None:
         self.universe_sizes = {}
         self.popcount_calls = 0
         self.intersections = 0
+        self.passes = 0
+        self.candidates = 0
+        self.bits_set = 0
+        self.bits_possible = 0
+
+    def sample_density(self, bitmaps: "Iterable[int]", universe_size: int) -> None:
+        """Accumulate occupancy of freshly built *bitmaps* over a
+        universe of *universe_size* slots."""
+        n = 0
+        for bitmap in bitmaps:
+            self.bits_set += bitmap.bit_count()
+            n += 1
+        self.bits_possible += n * universe_size
+
+    def density(self) -> float:
+        """Fraction of set bits among the sampled bitmaps (0.0 when
+        nothing was sampled, e.g. the ``"set"`` representation)."""
+        if not self.bits_possible:
+            return 0.0
+        return self.bits_set / self.bits_possible
 
 
 class SlotUniverse:

@@ -63,6 +63,9 @@ class Eclat(FrequentItemsetMiner):
         universe = SlotUniverse(groups)
         item_maps = self.item_gid_bitmaps(groups, universe)
         self.stats.universe_sizes["gid"] = len(universe)
+        self.stats.sample_density(item_maps.values(), len(universe))
+        self.stats.passes += 1
+        self.stats.candidates += len(item_maps)
 
         # Root class: frequent singletons in ascending item order (the
         # order fixes the prefix tree, making runs deterministic).
@@ -92,9 +95,11 @@ class Eclat(FrequentItemsetMiner):
         members sharing a prefix; the support set is a tidset bitmap
         or, when ``parents_are_diffsets``, a diffset bitmap.
         """
+        self.stats.passes += 1  # one class expansion ~ one lattice round
         for i, (itemset_i, rep_i, support_i) in enumerate(extensions):
             children: List[Tuple[Tuple[int, ...], int, int]] = []
             for itemset_j, rep_j, _support_j in extensions[i + 1 :]:
+                self.stats.candidates += 1
                 if self.diffsets:
                     if parents_are_diffsets:
                         diff = rep_j & ~rep_i

@@ -36,8 +36,15 @@ commands start with a dot:
 ``.faults [SPEC]``     show resilience counters of the last run, or
                        install a fault schedule (``off`` to remove;
                        spec: ``site:call[*times][@latency],...``)
+``.metrics``           Prometheus text dump of the metrics registry
+``.slowlog``           slowest recorded statements (serve mode)
 ``.quit``              leave the shell
 =====================  ==================================================
+
+``python -m repro serve`` starts the long-running serving mode instead:
+MINE RULE statements on stdin, a monitoring HTTP endpoint
+(``/metrics``, ``/healthz``, ``/stats.json``, ``/trace.json``) on a
+side thread — see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -91,11 +98,21 @@ class Shell:
         retry_policy: Optional[RetryPolicy] = None,
         resume: bool = False,
         tracer: Optional[Tracer] = None,
+        metrics=None,
+        slowlog=None,
+        health=None,
+        json_log=None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.slowlog = slowlog
+        self.health = health
+        #: structured logger (``repro.obs.jsonlog.JsonLogger``) or None
+        self.json_log = json_log
         self.system = MiningSystem(
             algorithm=algorithm, retry_policy=retry_policy,
-            tracer=self.tracer,
+            tracer=self.tracer, metrics=metrics, slowlog=slowlog,
+            health=health,
         )
         #: resume MINE RULE statements from crash checkpoints
         self.resume = resume
@@ -132,14 +149,21 @@ class Shell:
         text = text.strip().rstrip(";").strip()
         if not text:
             return ""
+        if text.startswith("."):
+            kind = "meta"
+        elif text.upper().startswith("MINE"):
+            kind = "mine"
+        else:
+            kind = "sql"
+        started = time.perf_counter()
         try:
-            started = time.perf_counter()
-            if text.startswith("."):
+            if kind == "meta":
                 output = self._meta(text)
-            elif text.upper().startswith("MINE"):
+            elif kind == "mine":
                 output = self._mine(text)
             else:
                 output = self._sql(text)
+            self._log_statement(kind, text, started, ok=True)
             if self.timing:
                 elapsed = (time.perf_counter() - started) * 1000
                 output = f"{output}\n({elapsed:.1f} ms)" if output else (
@@ -147,13 +171,32 @@ class Shell:
                 )
             return output
         except FaultError as exc:
+            self._log_statement(kind, text, started, ok=False, error=exc)
             return (
                 f"error: {exc}\n"
                 f"(injected fault survived retries; "
                 f"re-run with --resume to continue from the checkpoint)"
             )
         except (SqlError, MineRuleError, KeyError, ValueError) as exc:
+            self._log_statement(kind, text, started, ok=False, error=exc)
             return f"error: {exc}"
+
+    def _log_statement(
+        self, kind: str, text: str, started: float, ok: bool, error=None
+    ) -> None:
+        if self.json_log is None:
+            return
+        fields = {
+            "kind": kind,
+            "statement": " ".join(text.split())[:200],
+            "ms": round((time.perf_counter() - started) * 1000, 3),
+            "ok": ok,
+        }
+        if error is not None:
+            fields["error"] = str(error)
+            self.json_log.error("statement", **fields)
+        else:
+            self.json_log.log("statement", **fields)
 
     # -- statement kinds --------------------------------------------------
 
@@ -277,6 +320,9 @@ class Shell:
                 database=load_database(argument),
                 algorithm=self.system.algorithm,
                 tracer=self.tracer,
+                metrics=self.metrics,
+                slowlog=self.slowlog,
+                health=self.health,
             )
             return f"restored catalog from {argument}"
         if command == ".timing":
@@ -307,15 +353,35 @@ class Shell:
                     f"last run: {self.last_result.resilience.describe()}"
                 )
             return "\n".join(lines)
+        if command == ".metrics":
+            metrics = self.system.metrics
+            if not metrics.enabled:
+                return (
+                    "metrics are off; serve mode (python -m repro serve) "
+                    "collects them, or pass a registry to the Shell"
+                )
+            from repro.obs.promtext import render_prometheus
+
+            return render_prometheus(metrics).rstrip("\n")
+        if command == ".slowlog":
+            if self.slowlog is None:
+                return "no slow-query log attached (serve mode has one)"
+            return self.slowlog.render()
         if command in (".quit", ".exit", ".q"):
             raise EOFError
         return f"unknown command {command!r}; try .help"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        from repro.serve import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="MINE RULE shell (tightly-coupled data mining)",
+        description="MINE RULE shell (tightly-coupled data mining); "
+        "'repro serve' starts the monitored serving mode",
     )
     parser.add_argument(
         "-c", "--command", action="append", default=[],
@@ -350,6 +416,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "write a Chrome trace-event JSON (chrome://tracing, Perfetto) "
         "to FILE on exit",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one structured JSON log line per statement on stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.fault_schedule:
@@ -368,11 +438,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_out
         else NULL_TRACER
     )
+    json_log = None
+    if args.log_json:
+        from repro.obs.jsonlog import JsonLogger
+
+        json_log = JsonLogger()
     shell = Shell(
         algorithm=args.algorithm,
         retry_policy=retry_policy,
         resume=args.resume,
         tracer=tracer,
+        json_log=json_log,
     )
     try:
         if args.command or args.file:

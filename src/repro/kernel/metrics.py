@@ -51,6 +51,9 @@ class CoreStats:
     universe_sizes: Dict[str, int] = field(default_factory=dict)
     popcount_calls: int = 0
     intersections: int = 0
+    passes: int = 0
+    candidates_generated: int = 0
+    bitset_density: float = 0.0
 
     @classmethod
     def from_general(cls, operator) -> "CoreStats":
@@ -64,6 +67,9 @@ class CoreStats:
             universe_sizes=dict(stats.universe_sizes),
             popcount_calls=stats.popcount_calls,
             intersections=stats.intersections,
+            passes=stats.passes or len(operator.lattice_sizes),
+            candidates_generated=stats.candidates,
+            bitset_density=stats.density(),
         )
 
     @classmethod
@@ -77,7 +83,65 @@ class CoreStats:
             universe_sizes=dict(stats.universe_sizes) if stats else {},
             popcount_calls=stats.popcount_calls if stats else 0,
             intersections=stats.intersections if stats else 0,
+            passes=stats.passes if stats else 0,
+            candidates_generated=stats.candidates if stats else 0,
+            bitset_density=stats.density() if stats else 0.0,
         )
+
+    def counter_items(self) -> List[Tuple[str, int]]:
+        """The canonical (name, value) counters of a core run — one
+        list shared by the text report, the tracer gauges and the
+        metrics registry, so the three surfaces can never drift."""
+        return [
+            ("core.popcounts", self.popcount_calls),
+            ("core.intersections", self.intersections),
+            ("core.join_pairs_examined", self.join_pairs_examined),
+            ("core.passes", self.passes),
+            ("core.candidates", self.candidates_generated),
+        ]
+
+    def publish(self, tracer, metrics, run: Optional[int] = None) -> None:
+        """Publish this run's core observations.
+
+        An enabled *tracer* gets gauges (run-labeled when *run* is
+        given); *metrics* gets the cross-run view: ``repro_core_*``
+        counters, per-universe slot gauges and the density/variant
+        gauges a serving process exposes on ``/metrics``.
+        """
+        if tracer is not None and tracer.enabled:
+            labels = {"run": run} if run is not None else {}
+            tracer.gauge("core.variant", self.variant, **labels)
+            tracer.gauge("core.representation", self.representation, **labels)
+            if self.algorithm:
+                tracer.gauge("core.algorithm", self.algorithm, **labels)
+            for name, value in self.counter_items():
+                tracer.gauge(name, value, **labels)
+            tracer.gauge(
+                "core.bitset_density", round(self.bitset_density, 6), **labels
+            )
+        if metrics is None or not metrics.enabled:
+            return
+        for name, value in self.counter_items():
+            if value:
+                metrics.counter(
+                    f"repro_{name.replace('.', '_')}_total",
+                    f"Core-operator total of {name!r} across runs",
+                ).inc(value)
+        for label, size in sorted(self.universe_sizes.items()):
+            metrics.gauge(
+                "repro_core_universe_slots",
+                "Slot-universe size of the last core run",
+                ("universe",),
+            ).set(size, universe=label)
+        metrics.gauge(
+            "repro_core_bitset_density",
+            "Fraction of set bits in the sampled bitmaps (last run)",
+        ).set(round(self.bitset_density, 6))
+        metrics.counter(
+            "repro_core_runs_total",
+            "Core-operator runs by variant and representation",
+            ("variant", "representation"),
+        ).inc(variant=self.variant, representation=self.representation)
 
     def describe(self) -> str:
         """One-line summary for the process trace."""

@@ -20,6 +20,7 @@ exactly as Figure 2b does).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -51,11 +52,23 @@ class Postprocessor:
         Identical bodies (heads) share one identifier, so the auxiliary
         tables stay normalized.
         """
+        started = time.perf_counter()
         with self._db.tracer.span(
             "postprocessor.store", category="postprocessor", rules=len(rules)
         ):
             faults.check("postprocessor.store")
             self._store_encoded_rules(program, rules)
+        metrics = self._db.metrics
+        if metrics.enabled:
+            metrics.histogram(
+                "repro_postprocess_seconds",
+                "Wall seconds per postprocessor step",
+                ("step",),
+            ).observe(time.perf_counter() - started, step="store")
+            metrics.counter(
+                "repro_rules_stored_total",
+                "Encoded rules written to the output tables",
+            ).inc(len(rules))
 
     def _store_encoded_rules(
         self, program: TranslationProgram, rules: Sequence[EncodedRule]
@@ -127,6 +140,7 @@ class Postprocessor:
         or resumed decode cannot duplicate rows in ``<out>_Bodies`` /
         ``<out>_Heads``.
         """
+        started = time.perf_counter()
         with self._db.tracer.span(
             "postprocessor.decode", category="postprocessor"
         ):
@@ -137,6 +151,13 @@ class Postprocessor:
             for query in program.postprocessing:
                 self._db.execute(query.sql)
             self._build_display(program)
+        metrics = self._db.metrics
+        if metrics.enabled:
+            metrics.histogram(
+                "repro_postprocess_seconds",
+                "Wall seconds per postprocessor step",
+                ("step",),
+            ).observe(time.perf_counter() - started, step="decode")
 
     def item_decoders(
         self, program: TranslationProgram

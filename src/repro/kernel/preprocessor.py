@@ -184,6 +184,19 @@ class Preprocessor:
             stats.query_seconds[query.label] = (
                 stats.query_seconds.get(query.label, 0.0) + elapsed
             )
+            metrics = self._db.metrics
+            if metrics.enabled:
+                metrics.histogram(
+                    "repro_preprocess_stage_seconds",
+                    "Wall seconds per preprocessing query (Q0..Q11)",
+                    ("stage",),
+                ).observe(elapsed, stage=query.label)
+            slowlog = self._db.slowlog
+            if slowlog is not None:
+                slowlog.record(
+                    f"preprocessor.{query.label}", elapsed,
+                    detail=query.purpose,
+                )
             if flow is not None:
                 flow.event("preprocessor", f"ran {query.label}", query.purpose)
         if query.label == "Q1":
@@ -202,6 +215,15 @@ class Preprocessor:
         self._db.variables["mingroups"] = mingroups
         stats.totg = totg
         stats.mingroups = mingroups
+        metrics = self._db.metrics
+        if metrics.enabled:
+            metrics.gauge(
+                "repro_preprocess_totg", "Total group count (:totg)"
+            ).set(totg)
+            metrics.gauge(
+                "repro_preprocess_mingroups",
+                "Minimum group-count threshold (:mingroups)",
+            ).set(mingroups)
         if flow is not None:
             flow.event(
                 "preprocessor",
@@ -212,6 +234,27 @@ class Preprocessor:
     def _collect_table_sizes(
         self, program: TranslationProgram, stats: PreprocessStats
     ) -> None:
+        metrics = self._db.metrics
+        table_gauge = (
+            metrics.gauge(
+                "repro_encoded_table_rows",
+                "Rows in the encoded tables after preprocessing",
+                ("table",),
+            )
+            if metrics.enabled
+            else None
+        )
+        prefix = f"{program.workspace.prefix}_"
         for table in program.workspace.all_tables():
             if self._db.catalog.has_table(table):
-                stats.table_rows[table] = len(self._db.catalog.get_table(table))
+                rows = len(self._db.catalog.get_table(table))
+                stats.table_rows[table] = rows
+                if table_gauge is not None:
+                    # strip the per-run workspace prefix (MR<n>_) so the
+                    # label set stays stable across executions
+                    label = (
+                        table[len(prefix):]
+                        if table.startswith(prefix)
+                        else table
+                    )
+                    table_gauge.set(rows, table=label)

@@ -5,11 +5,13 @@ The figure's thick lines — user support -> translator -> preprocessor
 :class:`ProcessEvent` entries so the FIG3 benchmark can regenerate the
 flow and tests can assert the component ordering.
 
-A :class:`ProcessFlow` optionally mirrors everything it records into a
-:class:`repro.obs.spans.Tracer`: component phases become spans, events
-become instants and counters forward one-to-one, so one ``--trace-out``
-capture holds the whole pipeline without the components knowing about
-the observability layer.
+A :class:`ProcessFlow` optionally mirrors phases and events into a
+:class:`repro.obs.spans.Tracer`: component phases become spans and
+events become instants, so one ``--trace-out`` capture holds the whole
+pipeline without the components knowing about the observability layer.
+Counters stay local to the flow — the mining system forwards them into
+the tracer (and from there into the metrics registry) once at the end
+of the run, so a single bump is never recorded twice.
 """
 
 from __future__ import annotations
@@ -63,7 +65,6 @@ class ProcessFlow:
         degradations) surfaced by :meth:`render`."""
         if amount:
             self.counters[counter] = self.counters.get(counter, 0) + amount
-            self.tracer.bump(counter, amount)
 
     def start(self, component: str) -> None:
         """Begin timing a component phase."""

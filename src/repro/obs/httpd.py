@@ -1,0 +1,234 @@
+"""Monitoring HTTP server (stdlib ``http.server``).
+
+Serves the observability surfaces of a running mining system on a side
+thread, so a long-lived ``repro serve`` process is scrape-able like any
+production service:
+
+* ``GET /metrics``    — Prometheus text exposition of the registry
+* ``GET /healthz``    — 200 while healthy, 503 while the last run is
+  failing (JSON body with the health snapshot either way)
+* ``GET /stats.json`` — registry snapshot + slow-query log + health
+* ``GET /trace.json`` — Chrome trace-event JSON of the session so far
+
+Thread model: :class:`ThreadingHTTPServer` handles each scrape on its
+own thread; the registry, health state and slow log are internally
+locked, so concurrent scrapes during an active run read consistent
+values.  No external dependencies — stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import CONTENT_TYPE, render_prometheus
+
+
+class HealthState:
+    """Thread-safe run-state tracker behind ``/healthz``.
+
+    ``begin``/``success``/``failure`` bracket every MINE RULE run;
+    the server answers 503 from the first failed run until the next
+    success, which is what a load balancer draining a faulty replica
+    needs to see.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.healthy = True
+        self.active = 0
+        self.runs = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self.started_at = clock()
+
+    def begin(self) -> None:
+        with self._lock:
+            self.active += 1
+
+    def success(self) -> None:
+        with self._lock:
+            self.active = max(0, self.active - 1)
+            self.runs += 1
+            self.healthy = True
+            self.last_error = None
+
+    def failure(self, error: Any) -> None:
+        with self._lock:
+            self.active = max(0, self.active - 1)
+            self.runs += 1
+            self.failures += 1
+            self.healthy = False
+            self.last_error = str(error)
+
+    @property
+    def ok(self) -> bool:
+        with self._lock:
+            return self.healthy
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "ok" if self.healthy else "failing",
+                "active_runs": self.active,
+                "runs": self.runs,
+                "failures": self.failures,
+                "last_error": self.last_error,
+                "uptime_seconds": round(self._clock() - self.started_at, 3),
+            }
+
+
+class MonitoringServer:
+    """The ``/metrics`` + ``/healthz`` + ``/stats.json`` +
+    ``/trace.json`` endpoint on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports
+    the bound one.  ``stats`` and ``trace`` are optional callables
+    returning the ``/stats.json`` dict and the ``/trace.json`` body —
+    endpoints without a provider answer 404.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        health: Optional[HealthState] = None,
+        stats: Optional[Callable[[], Dict[str, Any]]] = None,
+        trace: Optional[Callable[[], str]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.health = health if health is not None else HealthState()
+        self._stats = stats
+        self._trace = trace
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MonitoringServer":
+        if self._httpd is not None:
+            return self
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-monitoring",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MonitoringServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # the monitor must not spam the serving process's stderr
+            def log_message(self, *args: Any) -> None:
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        self._send(
+                            200,
+                            CONTENT_TYPE,
+                            render_prometheus(server.registry),
+                        )
+                    elif path == "/healthz":
+                        snapshot = server.health.snapshot()
+                        code = 200 if snapshot["status"] == "ok" else 503
+                        self._send_json(code, snapshot)
+                    elif path == "/stats.json":
+                        if server._stats is None:
+                            self._send_json(
+                                404, {"error": "no stats provider"}
+                            )
+                        else:
+                            self._send_json(200, server._stats())
+                    elif path == "/trace.json":
+                        if server._trace is None:
+                            self._send_json(
+                                404, {"error": "no trace provider"}
+                            )
+                        else:
+                            self._send(
+                                200, "application/json", server._trace()
+                            )
+                    else:
+                        self._send_json(
+                            404,
+                            {
+                                "error": f"unknown path {path!r}",
+                                "endpoints": [
+                                    "/metrics",
+                                    "/healthz",
+                                    "/stats.json",
+                                    "/trace.json",
+                                ],
+                            },
+                        )
+                except BrokenPipeError:  # scraper went away mid-answer
+                    pass
+                except Exception as exc:  # defensive: a provider bug
+                    # must yield a 500, not a hung connection
+                    try:
+                        self._send_json(500, {"error": str(exc)})
+                    except Exception:
+                        pass
+
+            def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+                self._send(
+                    code,
+                    "application/json",
+                    json.dumps(payload, indent=1, default=repr),
+                )
+
+            def _send(self, code: int, content_type: str, body: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+        return Handler

@@ -1,0 +1,53 @@
+"""Structured JSON logging (one object per line).
+
+The serving-mode counterpart of the shell's human-readable output:
+every event is a single JSON object on its own line (``ts``, ``level``,
+``event``, plus event-specific fields), so log shippers and ``jq`` can
+consume a long-running ``repro serve`` session without parsing prose.
+Enabled by the ``--log-json`` CLI flag; the default stream is stderr
+so statement results on stdout stay machine-separable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from typing import Any, Callable, Optional, TextIO
+
+
+class JsonLogger:
+    """Thread-safe newline-delimited JSON event writer."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self) -> TextIO:
+        # resolved lazily so ``JsonLogger()`` built before a test
+        # redirects stderr still writes to the redirected stream
+        return self._stream if self._stream is not None else sys.stderr
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        record = {"ts": round(self._clock(), 6), "level": level,
+                  "event": event}
+        record.update(fields)
+        line = json.dumps(record, default=repr, separators=(",", ":"))
+        with self._lock:
+            stream = self.stream
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError, io.UnsupportedOperation):
+                pass  # closed/broken stream must never take a run down
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(event, level="error", **fields)

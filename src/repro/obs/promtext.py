@@ -1,0 +1,85 @@
+"""Prometheus text exposition format (version 0.0.4).
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` into the plain
+``# HELP`` / ``# TYPE`` / sample-line format every Prometheus-
+compatible scraper understands.  Histograms expand into cumulative
+``_bucket{le="..."}`` series plus ``_sum`` and ``_count``, exactly as
+the exposition spec requires, so the monitoring endpoint can be pasted
+straight into a scrape config.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.metrics import HistogramState, MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The complete ``/metrics`` payload for *registry*."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        help_text = metric.help or metric.name
+        lines.append(f"# HELP {metric.name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for key, sample in metric.samples():
+            labels = dict(zip(metric.labelnames, key))
+            if isinstance(sample, HistogramState):
+                _render_histogram(lines, metric, labels, sample)
+            else:
+                lines.append(
+                    f"{metric.name}{_label_str(labels)} {_format(sample)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_histogram(
+    lines: List[str],
+    metric: Any,
+    labels: Dict[str, str],
+    state: HistogramState,
+) -> None:
+    cumulative = state.cumulative()
+    bounds = [_format(b) for b in metric.buckets] + ["+Inf"]
+    for bound, count in zip(bounds, cumulative):
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = bound
+        lines.append(
+            f"{metric.name}_bucket{_label_str(bucket_labels)} {count}"
+        )
+    lines.append(f"{metric.name}_sum{_label_str(labels)} {_format(state.sum)}")
+    lines.append(f"{metric.name}_count{_label_str(labels)} {state.count}")
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format(value: Any) -> str:
+    """Sample-value formatting: integral floats render without the
+    trailing ``.0`` so counters read naturally."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)

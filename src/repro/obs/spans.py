@@ -16,12 +16,20 @@ no-op span object and every recording method returns immediately after
 a single attribute check, so the hot path (one check per SQL
 statement) costs an ``if`` and nothing else.  :data:`NULL_TRACER` is
 the process-wide disabled instance used as the default everywhere.
+
+An enabled tracer can additionally feed a
+:class:`~repro.obs.metrics.MetricsRegistry`: every span close observes
+the ``repro_span_seconds`` histogram, counter bumps and numeric gauges
+mirror one-to-one under sanitized names, so serving mode aggregates
+across runs what the trace records within one.
 """
 
 from __future__ import annotations
 
 import time
 from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 
 class Span:
@@ -119,9 +127,13 @@ class Tracer:
         enabled: bool = True,
         analyze: bool = False,
         clock: Callable[[], float] = time.perf_counter,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ):
         self.enabled = enabled
         self.analyze = analyze and enabled
+        #: cross-run aggregation sink; span closes, counters and numeric
+        #: gauges mirror into it automatically
+        self.metrics = metrics
         self._clock = clock
         #: perf-counter instant the tracer was created (trace epoch)
         self.origin = clock()
@@ -153,6 +165,8 @@ class Tracer:
             span.end = self._clock()
             self._depth = max(0, self._depth - 1)
             self.spans.append(span)
+            if self.metrics.enabled:
+                self.metrics.observe_span(span)
         return span.seconds
 
     def instant(self, name: str, category: str = "", **args: Any) -> None:
@@ -168,12 +182,31 @@ class Tracer:
         if not self.enabled or not amount:
             return
         self.counters[counter] = self.counters.get(counter, 0) + amount
+        if self.metrics.enabled:
+            self.metrics.trace_counter(counter, amount)
 
-    def gauge(self, name: str, value: Any) -> None:
-        """Set a last-value observation."""
+    def gauge(self, name: str, value: Any, **labels: Any) -> None:
+        """Set a last-value observation.
+
+        Labels qualify the stored key — ``gauge("rules.decoded", 12,
+        run=3)`` lands under ``rules.decoded{run=3}`` — so repeated
+        runs in one session stop overwriting each other.  The metrics
+        mirror intentionally drops the labels: a registry gauge is
+        *current* value; the scrape history is the Prometheus server's
+        job, and mirroring per-run labels would grow cardinality
+        without bound in a long-lived serving process.
+        """
         if not self.enabled:
             return
-        self.gauges[name] = value
+        key = name
+        if labels:
+            qualifier = ",".join(
+                f"{k}={labels[k]}" for k in sorted(labels)
+            )
+            key = f"{name}{{{qualifier}}}"
+        self.gauges[key] = value
+        if self.metrics.enabled:
+            self.metrics.trace_gauge(name, value)
 
     # -- aggregation ----------------------------------------------------
 

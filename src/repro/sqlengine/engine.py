@@ -24,11 +24,13 @@ the Preprocessor and the DB-API cursor.
 from __future__ import annotations
 
 import functools
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import faults
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.spans import NULL_TRACER
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.catalog import Catalog, Index, View
@@ -61,6 +63,61 @@ class CacheStats:
         return _dc_replace(self)
 
 
+class _EngineInstruments:
+    """Pre-resolved metric handles for the statement hot path.
+
+    Built once when a metrics registry is attached, so executing a
+    statement costs one ``is not None`` check plus the observes — no
+    registry lookups per statement.
+    """
+
+    __slots__ = (
+        "statement_seconds",
+        "statements_total",
+        "rows_returned",
+        "rows_scanned",
+        "cache_events",
+    )
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.statement_seconds = metrics.histogram(
+            "repro_sql_statement_seconds",
+            "SQL statement execution latency by statement kind",
+            ("kind",),
+        )
+        self.statements_total = metrics.counter(
+            "repro_sql_statements_total",
+            "SQL statements executed by statement kind",
+            ("kind",),
+        )
+        self.rows_returned = metrics.counter(
+            "repro_sql_rows_returned_total",
+            "Rows returned by SQL statements",
+        )
+        self.rows_scanned = metrics.counter(
+            "repro_sql_rows_scanned_total",
+            "Source rows scanned by SELECT pipelines",
+        )
+        self.cache_events = metrics.counter(
+            "repro_sql_cache_events_total",
+            "Statement/plan cache events",
+            ("cache", "outcome"),
+        )
+
+
+def _counted_envs(envs: Iterable[Env], counter: Any) -> "Iterable[Env]":
+    """Wrap a scan's env stream so the rows-scanned counter advances by
+    however many rows the pipeline actually pulled (early-exit safe)."""
+    scanned = 0
+    try:
+        for env in envs:
+            scanned += 1
+            yield env
+    finally:
+        if scanned:
+            counter.inc(scanned)
+
+
 class PreparedStatement:
     """A parsed statement handle bound to one :class:`Database`.
 
@@ -78,7 +135,7 @@ class PreparedStatement:
         self.statement = statement
 
     def execute(self, params: Optional[Dict[str, Any]] = None) -> Result:
-        return self._db.execute_ast(self.statement, params)
+        return self._db.execute_ast(self.statement, params, sql=self.sql)
 
     def query(self, params: Optional[Dict[str, Any]] = None) -> List[Row]:
         return self.execute(params).rows
@@ -234,6 +291,12 @@ class Database:
         #: observability sink; the shared no-op tracer by default, so
         #: the un-traced hot path pays one attribute check per statement
         self.tracer = NULL_TRACER
+        #: slow-query log (``repro.obs.slowlog.SlowQueryLog``) or None
+        self.slowlog = None
+        self._metrics = NULL_REGISTRY
+        #: pre-resolved instrument handles; None while metrics are off,
+        #: so the hot path guard is one ``is not None`` check
+        self._im: Optional[_EngineInstruments] = None
         #: per-operator instrumentation for the statement in flight
         #: (installed by :func:`repro.sqlengine.explain.analyze_statement`)
         self._analyze = None
@@ -245,11 +308,22 @@ class Database:
     # public API
     # ------------------------------------------------------------------
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry: MetricsRegistry) -> None:
+        self._metrics = registry
+        self._im = (
+            _EngineInstruments(registry) if registry.enabled else None
+        )
+
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
         """Parse (through the statement cache) and execute one
         statement."""
         statement = self._parse_statement(sql)
-        return self.execute_ast(statement, params)
+        return self.execute_ast(statement, params, sql=sql)
 
     def query(self, sql: str, params: Optional[Dict[str, Any]] = None) -> List[Row]:
         """Execute and return the raw row list."""
@@ -272,9 +346,16 @@ class Database:
         return [self.execute(chunk, params) for chunk in split_statements(script)]
 
     def execute_ast(
-        self, statement: ast.Statement, params: Optional[Dict[str, Any]] = None
+        self,
+        statement: ast.Statement,
+        params: Optional[Dict[str, Any]] = None,
+        sql: Optional[str] = None,
     ) -> Result:
-        """Execute an already-parsed statement."""
+        """Execute an already-parsed statement.
+
+        *sql* is the original text, used only as slow-query-log detail
+        — callers executing a bare AST may omit it.
+        """
         faults.check("engine.execute")
         self.statements_executed += 1
         merged = dict(self.variables)
@@ -282,12 +363,42 @@ class Database:
             merged.update(params)
         self._params = merged
         tracer = self.tracer
+        im = self._im
+        if im is None and self.slowlog is None:
+            if tracer.enabled:
+                with tracer.span(
+                    f"engine.{type(statement).__name__}", category="engine"
+                ):
+                    return self._dispatch_statement(statement)
+            return self._dispatch_statement(statement)
+        return self._execute_instrumented(statement, tracer, im, sql)
+
+    def _execute_instrumented(
+        self,
+        statement: ast.Statement,
+        tracer: Any,
+        im: Optional[_EngineInstruments],
+        sql: Optional[str],
+    ) -> Result:
+        """The metered statement path: latency histogram, per-kind
+        totals, rows returned, slow-query log."""
+        kind = type(statement).__name__
+        started = time.perf_counter()
         if tracer.enabled:
-            with tracer.span(
-                f"engine.{type(statement).__name__}", category="engine"
-            ):
-                return self._dispatch_statement(statement)
-        return self._dispatch_statement(statement)
+            with tracer.span(f"engine.{kind}", category="engine"):
+                result = self._dispatch_statement(statement)
+        else:
+            result = self._dispatch_statement(statement)
+        elapsed = time.perf_counter() - started
+        if im is not None:
+            im.statement_seconds.observe(elapsed, kind=kind)
+            im.statements_total.inc(kind=kind)
+            if result.rows:
+                im.rows_returned.inc(len(result.rows))
+        slowlog = self.slowlog
+        if slowlog is not None:
+            slowlog.record(f"sql.{kind}", elapsed, detail=sql or "")
+        return result
 
     def _dispatch_statement(self, statement: ast.Statement) -> Result:
         if isinstance(statement, ast.Select):
@@ -378,12 +489,17 @@ class Database:
 
     def _parse_statement(self, sql: str) -> ast.Statement:
         cache = self._statement_cache
+        im = self._im
         statement = cache.get(sql)
         if statement is not None:
             self.cache_stats.statement_hits += 1
+            if im is not None:
+                im.cache_events.inc(cache="statement", outcome="hit")
             cache.move_to_end(sql)
             return statement
         self.cache_stats.statement_misses += 1
+        if im is not None:
+            im.cache_events.inc(cache="statement", outcome="miss")
         statement = parse_sql(sql)
         cache[sql] = statement
         while len(cache) > self.options.statement_cache_size:
@@ -401,14 +517,21 @@ class Database:
         """
         key = id(select)
         entry = self._plan_cache.get(key)
+        im = self._im
         if entry is not None and entry.select is select:
             if entry.catalog_version == self.catalog.version:
                 self.cache_stats.plan_hits += 1
+                if im is not None:
+                    im.cache_events.inc(cache="plan", outcome="hit")
                 self._plan_cache.move_to_end(key)
                 return entry
             self.cache_stats.plan_invalidations += 1
+            if im is not None:
+                im.cache_events.inc(cache="plan", outcome="invalidation")
             del self._plan_cache[key]
         self.cache_stats.plan_misses += 1
+        if im is not None:
+            im.cache_events.inc(cache="plan", outcome="miss")
         plan = self._build_select_plan(select)
         if self.options.plan_cache and plan.cacheable:
             self._plan_cache[key] = plan
@@ -555,7 +678,12 @@ class Database:
             limit_one and not select.order_by and select.limit is None
         )
 
-        for env in source.envs(outer_env):
+        envs = source.envs(outer_env)
+        im = self._im
+        if im is not None:
+            envs = _counted_envs(envs, im.rows_scanned)
+
+        for env in envs:
             if predicate is not None and predicate(env) is not True:
                 continue
             if having is not None and having(env) is not True:

@@ -30,8 +30,9 @@ counters and the text report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import faults
 from repro.algorithms import FrequentItemsetMiner, get_algorithm
@@ -49,6 +50,11 @@ from repro.kernel.program import StageCheckpoint, TranslationProgram
 from repro.kernel.trace import ProcessFlow
 from repro.kernel.translator import Translator
 from repro.minerule.statements import MineRuleStatement
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    publish_gauge,
+)
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.sqlengine.engine import Database
 from repro.sqlengine.render import render_expr
@@ -70,6 +76,9 @@ class MiningResult:
     core_stats: Optional[CoreStats] = None
     #: fault/retry/resume counters of this run
     resilience: Optional[ResilienceStats] = None
+    #: 1-based execution number within this system (labels the run's
+    #: end-of-run gauges so repeated runs don't overwrite each other)
+    run_id: int = 0
 
     @property
     def directives(self):
@@ -109,6 +118,9 @@ class MiningSystem:
         representation: str = "bitset",
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slowlog: Optional[Any] = None,
+        health: Optional[Any] = None,
     ):
         self.db = database if database is not None else Database()
         #: observability sink for the whole pipeline (spans, counters,
@@ -116,6 +128,26 @@ class MiningSystem:
         #: inside the component spans
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.db.tracer = self.tracer
+        #: cross-run metrics registry; resolution order: explicit
+        #: argument, then an enabled tracer's own registry, then the
+        #: shared disabled one
+        if metrics is not None:
+            self.metrics = metrics
+            if self.tracer.enabled:
+                # never mutate the shared NULL_TRACER
+                self.tracer.metrics = metrics
+        elif self.tracer.enabled and self.tracer.metrics.enabled:
+            self.metrics = self.tracer.metrics
+        else:
+            self.metrics = NULL_REGISTRY
+        self.db.metrics = self.metrics
+        #: slow-query log (:class:`repro.obs.slowlog.SlowQueryLog`);
+        #: shared with the engine so per-statement entries land in it
+        self.slowlog = slowlog
+        self.db.slowlog = slowlog
+        #: run-state tracker (:class:`repro.obs.httpd.HealthState`)
+        #: behind a monitoring server's ``/healthz``
+        self.health = health
         self.representation = validate_representation(representation)
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
@@ -166,14 +198,56 @@ class MiningSystem:
         if policy is None:
             policy = RetryPolicy.single()
         tracer = self.tracer
-        if not tracer.enabled:
+        metrics = self.metrics
+        health = self.health
+        observed = (
+            tracer.enabled
+            or metrics.enabled
+            or self.slowlog is not None
+            or health is not None
+        )
+        if not observed:
             return self._run_pipeline(statement_text, resume, policy)
-        with tracer.span(
-            "minerule.run",
-            category="minerule",
-            statement=" ".join(statement_text.split())[:120],
-        ):
-            result = self._run_pipeline(statement_text, resume, policy)
+
+        compact = " ".join(statement_text.split())
+        if health is not None:
+            health.begin()
+        status = "error"
+        started = time.perf_counter()
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "minerule.run",
+                    category="minerule",
+                    statement=compact[:120],
+                    run=self._executions + 1,
+                ):
+                    result = self._run_pipeline(statement_text, resume, policy)
+            else:
+                result = self._run_pipeline(statement_text, resume, policy)
+            status = "ok"
+        except Exception as exc:
+            if health is not None:
+                health.failure(exc)
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            if metrics.enabled:
+                metrics.histogram(
+                    "repro_minerule_run_seconds",
+                    "End-to-end MINE RULE run latency",
+                ).observe(elapsed)
+                metrics.counter(
+                    "repro_minerule_runs_total",
+                    "MINE RULE runs by outcome",
+                    ("status",),
+                ).inc(status=status)
+            if self.slowlog is not None:
+                self.slowlog.record(
+                    "minerule.run", elapsed, detail=compact
+                )
+        if health is not None:
+            health.success()
         self._publish_observations(result)
         return result
 
@@ -274,6 +348,7 @@ class MiningSystem:
             preprocessing_reused=reused,
             core_stats=core_stats,
             resilience=resilience,
+            run_id=self._executions,
         )
 
     # ------------------------------------------------------------------
@@ -530,34 +605,52 @@ class MiningSystem:
         return decoded
 
     def _publish_observations(self, result: MiningResult) -> None:
-        """Push end-of-run statistics into the tracer's registry so the
-        trace export and the consolidated report see one snapshot."""
+        """Push end-of-run statistics into the tracer registry and the
+        metrics registry so the trace export, the consolidated report
+        and a monitoring scrape see one snapshot.
+
+        Gauges are labeled with the run id — without the label,
+        repeated runs in one session silently overwrite each other's
+        values (last-writer-wins) and the trace export lies about every
+        run but the final one.
+        """
         tracer = self.tracer
+        metrics = self.metrics
+        run = result.run_id
         cache = self.db.cache_stats
-        tracer.gauge("engine.statements_executed", self.db.statements_executed)
-        tracer.gauge("engine.statement_cache_hits", cache.statement_hits)
-        tracer.gauge("engine.statement_cache_misses", cache.statement_misses)
-        tracer.gauge("engine.plan_cache_hits", cache.plan_hits)
-        tracer.gauge("engine.plan_cache_misses", cache.plan_misses)
-        tracer.gauge("rules.decoded", len(result.rules))
+
+        def pub(name: str, value: Any) -> None:
+            publish_gauge(tracer, metrics, name, value, run=run)
+
+        pub("engine.statements_executed", self.db.statements_executed)
+        pub("engine.statement_cache_hits", cache.statement_hits)
+        pub("engine.statement_cache_misses", cache.statement_misses)
+        pub("engine.plan_cache_hits", cache.plan_hits)
+        pub("engine.plan_cache_misses", cache.plan_misses)
+        pub("rules.decoded", len(result.rules))
         stats = result.preprocess_stats
         if stats is not None:
-            tracer.gauge("preprocessor.totg", stats.totg)
-            tracer.gauge("preprocessor.mingroups", stats.mingroups)
+            pub("preprocessor.totg", stats.totg)
+            pub("preprocessor.mingroups", stats.mingroups)
         core = result.core_stats
         if core is not None:
-            tracer.gauge("core.variant", core.variant)
-            tracer.gauge("core.representation", core.representation)
-            if core.popcount_calls:
-                tracer.gauge("core.popcounts", core.popcount_calls)
-            if core.intersections:
-                tracer.gauge("core.intersections", core.intersections)
-            if core.join_pairs_examined:
-                tracer.gauge(
-                    "core.join_pairs_examined", core.join_pairs_examined
-                )
-        # resilience counters (faults, retries, stages_resumed,
-        # degradations) already forward through ProcessFlow.bump
+            core.publish(tracer, metrics, run=run)
+        # resilience counters stay local to the ProcessFlow during the
+        # run; forward them exactly once here (the tracer mirrors them
+        # into the metrics registry)
+        for counter, amount in result.flow.counters.items():
+            if tracer.enabled:
+                tracer.bump(counter, amount)
+            else:
+                metrics.trace_counter(counter, amount)
+        if metrics.enabled:
+            component_seconds = metrics.histogram(
+                "repro_component_seconds",
+                "Wall seconds per pipeline component per run",
+                ("component",),
+            )
+            for component, seconds in result.flow.timings.items():
+                component_seconds.observe(seconds, component=component)
 
     # ------------------------------------------------------------------
     # checkpoints

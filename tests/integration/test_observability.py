@@ -101,12 +101,33 @@ def test_chrome_trace_covers_the_pipeline():
 
 def test_trace_export_registry_snapshot():
     system, result, tracer = traced_run("simple_associations")
-    assert tracer.gauges["rules.decoded"] == len(result.rules)
-    assert tracer.gauges["preprocessor.totg"] == (
+    run = result.run_id
+    assert tracer.gauges[f"rules.decoded{{run={run}}}"] == len(result.rules)
+    assert tracer.gauges[f"preprocessor.totg{{run={run}}}"] == (
         result.preprocess_stats.totg
     )
     events = trace_events(tracer)
     assert any(e["ph"] == "i" for e in events)  # flow markers exported
+
+
+def test_repeated_runs_keep_distinct_gauges():
+    """Regression: end-of-run gauges used to share one key per name, so
+    the second run's snapshot silently overwrote the first's
+    (last-writer-wins).  Run-labeled keys keep both."""
+    database = Database()
+    load_purchase_figure1(database)
+    tracer = Tracer(enabled=True)
+    system = MiningSystem(database=database, tracer=tracer)
+    first = system.run(GOLDEN_STATEMENTS["simple_associations"])
+    second = system.run(GOLDEN_STATEMENTS["filtered_ordered_sets"])
+    assert first.run_id != second.run_id
+    key_one = f"rules.decoded{{run={first.run_id}}}"
+    key_two = f"rules.decoded{{run={second.run_id}}}"
+    assert tracer.gauges[key_one] == len(first.rules)
+    assert tracer.gauges[key_two] == len(second.rules)
+    # the two statements mine different rule counts, so the old
+    # overwrite bug would have lost real information
+    assert len(first.rules) != len(second.rules)
 
 
 def test_disabled_tracer_captures_no_analysis():

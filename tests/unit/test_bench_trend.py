@@ -1,0 +1,78 @@
+"""Units for tools/bench_trend.py (loaded by file path — ``tools`` is
+scripts, not a package)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "bench_trend", REPO_ROOT / "tools" / "bench_trend.py"
+)
+bench_trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trend)
+
+
+def write(path, document):
+    path.write_text(json.dumps(document), encoding="utf-8")
+
+
+def test_flatten_keeps_numeric_leaves_only():
+    flat = bench_trend.flatten(
+        {
+            "scenario": {
+                "speedup": 4.5,
+                "runs": 300,
+                "query": "SELECT 1",
+                "quick": False,  # bools are config, not metrics
+                "nested": {"x": 1},
+            },
+            "not_a_dict": 7,
+        }
+    )
+    assert flat == {"scenario.speedup": 4.5, "scenario.runs": 300}
+
+
+def test_missing_pr_becomes_blank_column(tmp_path):
+    write(tmp_path / "BENCH_PR1.json", {"a": {"ms": 10}})
+    write(tmp_path / "BENCH_PR4.json", {"a": {"ms": 12}, "b": {"ratio": 1.01}})
+    trend = bench_trend.load_trend(tmp_path)
+    assert trend["columns"] == ["PR1", "PR2", "PR3", "PR4"]
+    by_metric = {row["metric"]: row["values"] for row in trend["rows"]}
+    assert by_metric["a.ms"] == {"PR1": 10, "PR4": 12}
+    assert by_metric["b.ratio"] == {"PR4": 1.01}
+    markdown = bench_trend.render_markdown(trend)
+    assert "| a.ms | 10 |  |  | 12 |" in markdown
+
+
+def test_corrupt_artifact_keeps_column(tmp_path):
+    write(tmp_path / "BENCH_PR1.json", {"a": {"ms": 10}})
+    (tmp_path / "BENCH_PR2.json").write_text("{not json", encoding="utf-8")
+    trend = bench_trend.load_trend(tmp_path)
+    assert trend["columns"] == ["PR1", "PR2"]
+
+
+def test_main_writes_both_artifacts(tmp_path, capsys):
+    write(tmp_path / "BENCH_PR1.json", {"a": {"ms": 10.5}})
+    assert bench_trend.main(["--root", str(tmp_path)]) == 0
+    markdown = (tmp_path / "BENCH_TREND.md").read_text(encoding="utf-8")
+    assert "| a.ms | 10.5 |" in markdown
+    trend = json.loads(
+        (tmp_path / "BENCH_TREND.json").read_text(encoding="utf-8")
+    )
+    assert trend["columns"] == ["PR1"]
+
+
+def test_main_errors_cleanly_without_artifacts(tmp_path):
+    assert bench_trend.main(["--root", str(tmp_path)]) == 1
+
+
+def test_checked_in_artifacts_aggregate():
+    """The repo's real artifacts must produce a table with PR3 blank."""
+    trend = bench_trend.load_trend(REPO_ROOT)
+    assert "PR3" in trend["columns"]
+    assert all(
+        "PR3" not in row["values"] for row in trend["rows"]
+    )  # PR3 shipped no bench artifact
+    metrics = {row["metric"] for row in trend["rows"]}
+    assert "metrics_overhead.disabled_ratio" in metrics

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Aggregate per-PR benchmark artifacts into one trajectory table.
+
+Each PR's bench run leaves a ``BENCH_PR<n>.json`` at the repo root
+(see ``benchmarks/conftest.py:bench_report``): a JSON object of
+``{scenario: {metric: value, ...}, ...}``.  This tool discovers every
+such artifact, flattens the numeric metrics to ``scenario.metric``
+rows, and renders the per-PR trajectory as
+
+* ``BENCH_TREND.md`` — a markdown table (rows: scenario.metric,
+  columns: PR1..PRn, blank cells where a PR has no such metric or the
+  artifact is missing entirely — PR3 shipped no bench artifact, and
+  that must not break the table); and
+* ``BENCH_TREND.json`` — the same data machine-readable.
+
+Usage::
+
+    python tools/bench_trend.py [--root DIR] [--markdown-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+ARTIFACT_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def discover_artifacts(root: Path) -> List[Tuple[int, Path]]:
+    """``[(pr number, path)]`` sorted by PR number."""
+    found = []
+    for path in root.iterdir():
+        match = ARTIFACT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def flatten(document: object) -> Dict[str, float]:
+    """``{scenario.metric: value}`` keeping numeric leaves only —
+    strings (queries, workload names) and nested structures describe
+    the scenario, they are not trajectory points."""
+    flat: Dict[str, float] = {}
+    if not isinstance(document, dict):
+        return flat
+    for scenario, metrics in document.items():
+        if not isinstance(metrics, dict):
+            continue
+        for metric, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            flat[f"{scenario}.{metric}"] = value
+    return flat
+
+
+def load_trend(root: Path) -> Dict[str, object]:
+    """The aggregated trend document."""
+    columns: List[int] = []
+    per_pr: Dict[int, Dict[str, float]] = {}
+    for number, path in discover_artifacts(root):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            document = {}  # tolerate a corrupt artifact, keep the column
+        columns.append(number)
+        per_pr[number] = flatten(document)
+    if columns:
+        # missing PRs inside the range get an explicit empty column so
+        # the table shows the gap (e.g. PR3 shipped no artifact)
+        full = list(range(min(columns), max(columns) + 1))
+        for number in full:
+            per_pr.setdefault(number, {})
+        columns = full
+    rows = sorted({key for flat in per_pr.values() for key in flat})
+    return {
+        "columns": [f"PR{n}" for n in columns],
+        "rows": [
+            {
+                "metric": key,
+                "values": {
+                    f"PR{n}": per_pr[n].get(key)
+                    for n in columns
+                    if key in per_pr[n]
+                },
+            }
+            for key in rows
+        ],
+    }
+
+
+def _cell(value: Optional[float]) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def render_markdown(trend: Dict[str, object]) -> str:
+    columns = trend["columns"]
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Numeric metrics from every checked-in `BENCH_PR<n>.json`, one",
+        "column per PR.  Blank cells: the PR did not record that metric",
+        "(or shipped no bench artifact at all).  Regenerate with",
+        "`python tools/bench_trend.py`.",
+        "",
+        "| metric | " + " | ".join(columns) + " |",
+        "|---|" + "---|" * len(columns),
+    ]
+    for row in trend["rows"]:
+        values = row["values"]
+        cells = [_cell(values.get(column)) for column in columns]
+        lines.append(f"| {row['metric']} | " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding the BENCH_PR<n>.json artifacts",
+    )
+    parser.add_argument(
+        "--markdown-only",
+        action="store_true",
+        help="skip writing BENCH_TREND.json",
+    )
+    args = parser.parse_args(argv)
+
+    trend = load_trend(args.root)
+    if not trend["columns"]:
+        print(f"no BENCH_PR<n>.json artifacts under {args.root}",
+              file=sys.stderr)
+        return 1
+    markdown = render_markdown(trend)
+    (args.root / "BENCH_TREND.md").write_text(markdown, encoding="utf-8")
+    print(f"wrote {args.root / 'BENCH_TREND.md'}")
+    if not args.markdown_only:
+        (args.root / "BENCH_TREND.json").write_text(
+            json.dumps(trend, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.root / 'BENCH_TREND.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
