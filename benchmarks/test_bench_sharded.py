@@ -1,0 +1,192 @@
+"""PR6 — the sharded executor and the packed-word bitset layout.
+
+Two scenarios, asserted (a wrong speedup ratio or a rule mismatch
+fails, not just slows down) and recorded to ``BENCH_PR6.json``:
+
+a) **Sharded speedup**: the Partition-style sharded miner
+   (``workers=2``/``workers=4``, packed representation — the
+   ``workers=N`` system default) against the serial big-int core
+   (``workers=1`` default) on a large Quest workload (>= 100k groups).
+   Bit-identical rule lists, and ``workers=4`` must clear the PR's
+   1.6x acceptance floor.  Timings are best-of-N: on a small CPU
+   budget a single sharded run can be dominated by fork/scheduler
+   noise, and the floor gates algorithmic speedup, not scheduler luck.
+b) **Packed vs big-int Apriori**: the PR2 pool bench's Apriori
+   gid-list switch, re-run with the packed word-array layout on a
+   workload large enough to clear ``PACKED_MIN_SLOTS`` so the numpy
+   kernels actually engage.  Identical ``ItemsetCounts`` and the
+   packed layout must not be slower than the big-int one.
+
+``BENCH_QUICK=1`` (the CI smoke mode) shrinks both workloads below
+any honest parallelism threshold, so quick mode only asserts
+bit-identity and records the measured numbers.
+"""
+
+import math
+import os
+import time
+
+from benchmarks.conftest import BENCH_QUICK, bench_report
+from repro.algorithms import get_algorithm
+from repro.algorithms.bitset import PACKED_MIN_SLOTS, packed_kernels_enabled
+from repro.datagen import QuestParameters, iter_baskets
+from repro.kernel.core.inputs import SimpleInput
+from repro.kernel.core.simple import SimpleCoreOperator
+from repro.kernel.program import CoreDirectives
+from repro.parallel import ShardedMiner
+
+REPORT, write_report = bench_report("BENCH_PR6.json")
+
+if BENCH_QUICK:
+    SHARD_QUEST = QuestParameters(
+        transactions=6_000, avg_transaction_size=10,
+        avg_pattern_size=4, patterns=30, items=400, seed=11,
+    )
+    SHARD_RUNS = 1
+    SPEEDUP_FLOORS = {2: 0.0, 4: 0.0}
+    APRIORI_QUEST = QuestParameters(
+        transactions=5_000, avg_transaction_size=8,
+        avg_pattern_size=3, patterns=40, items=150, seed=77,
+    )
+    APRIORI_RUNS = 1
+    PACKED_TOLERANCE = 2.0
+else:
+    SHARD_QUEST = QuestParameters(
+        transactions=400_000, avg_transaction_size=10,
+        avg_pattern_size=4, patterns=30, items=400, seed=11,
+    )
+    SHARD_RUNS = 3
+    SPEEDUP_FLOORS = {2: 1.3, 4: 1.6}
+    APRIORI_QUEST = QuestParameters(
+        transactions=60_000, avg_transaction_size=8,
+        avg_pattern_size=3, patterns=40, items=150, seed=77,
+    )
+    APRIORI_RUNS = 3
+    PACKED_TOLERANCE = 1.05
+SHARD_SUPPORT = 0.03
+APRIORI_SUPPORT = 0.02
+
+
+def _best_of(fn, runs):
+    best = math.inf
+    result = None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _directives():
+    return CoreDirectives(
+        simple=True, same_schema=True, clustered=False,
+        cluster_condition=False, mining_condition=False,
+        coded_source="CS", cluster_couples=None, input_rules=None,
+        min_support=0.0, min_confidence=0.4,
+        body_card=(1, None), head_card=(1, 1),
+    )
+
+
+def _load_shard_input():
+    groups = {}
+    for chunk in iter_baskets(SHARD_QUEST, chunk_size=50_000):
+        groups.update(chunk)
+    min_count = max(1, math.ceil(SHARD_SUPPORT * len(groups)))
+    return SimpleInput(totg=len(groups), min_count=min_count,
+                       groups=groups)
+
+
+class TestShardedSpeedup:
+    def test_workers4_vs_serial(self):
+        data = _load_shard_input()
+        directives = _directives()
+
+        serial_op = SimpleCoreOperator(
+            get_algorithm("apriori", representation="bitset")
+        )
+        serial_seconds, serial_rules = _best_of(
+            lambda: serial_op.run(data, directives), SHARD_RUNS
+        )
+
+        seconds = {"workers1": serial_seconds}
+        speedups = {}
+        for workers in (2, 4):
+            miner = ShardedMiner(workers=workers, start_method="fork")
+            sharded_seconds, (rules, stats) = _best_of(
+                lambda m=miner: m.mine_simple(
+                    data,
+                    directives,
+                    get_algorithm("apriori", representation="packed"),
+                ),
+                SHARD_RUNS,
+            )
+            # the whole point: bit-identical to the serial core
+            assert rules == serial_rules
+            assert stats.shards == workers
+            seconds[f"workers{workers}"] = sharded_seconds
+            speedups[f"workers{workers}"] = serial_seconds / sharded_seconds
+
+        REPORT["sharded_speedup"] = {
+            "workload": {
+                "transactions": SHARD_QUEST.transactions,
+                "avg_transaction_size": SHARD_QUEST.avg_transaction_size,
+                "items": SHARD_QUEST.items,
+                "min_count": data.min_count,
+            },
+            "quick": BENCH_QUICK,
+            "cpus": os.cpu_count(),
+            "groups": data.totg,
+            "rules": len(serial_rules),
+            "runs": SHARD_RUNS,
+            "seconds": {k: round(v, 6) for k, v in seconds.items()},
+            "speedup": {k: round(v, 2) for k, v in speedups.items()},
+        }
+        for workers, floor in SPEEDUP_FLOORS.items():
+            assert speedups[f"workers{workers}"] >= floor, (
+                f"workers={workers} speedup only "
+                f"{speedups[f'workers{workers}']:.2f}x (floor {floor}x)"
+            )
+
+
+class TestPackedVsBigintApriori:
+    def test_packed_layout_not_slower(self):
+        baskets = {}
+        for chunk in iter_baskets(APRIORI_QUEST, chunk_size=50_000):
+            baskets.update(chunk)
+        min_count = max(
+            1, math.ceil(APRIORI_SUPPORT * len(baskets))
+        )
+        kernels = packed_kernels_enabled(len(baskets))
+        miners = {
+            "apriori_bitset": get_algorithm(
+                "apriori", representation="bitset"
+            ),
+            "apriori_packed": get_algorithm(
+                "apriori", representation="packed"
+            ),
+        }
+        seconds, counts = {}, {}
+        for label, miner in miners.items():
+            seconds[label], counts[label] = _best_of(
+                lambda m=miner: m.mine(baskets, min_count), APRIORI_RUNS
+            )
+        assert counts["apriori_packed"] == counts["apriori_bitset"]
+
+        ratio = seconds["apriori_packed"] / seconds["apriori_bitset"]
+        REPORT["packed_vs_bigint"] = {
+            "workload": {
+                "transactions": APRIORI_QUEST.transactions,
+                "avg_transaction_size": APRIORI_QUEST.avg_transaction_size,
+                "items": APRIORI_QUEST.items,
+                "min_count": min_count,
+            },
+            "quick": BENCH_QUICK,
+            "packed_kernels_engaged": kernels,
+            "frequent_itemsets": len(counts["apriori_bitset"]),
+            "seconds": {k: round(v, 6) for k, v in seconds.items()},
+            "packed_vs_bigint_ratio": round(ratio, 3),
+        }
+        # acceptance: the packed layout must not lose to big-int
+        assert ratio <= PACKED_TOLERANCE, (
+            f"packed Apriori {ratio:.2f}x slower than big-int"
+        )

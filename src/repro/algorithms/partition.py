@@ -30,6 +30,8 @@ from repro.algorithms.base import (
 from repro.algorithms.bitset import (
     BitsetStats,
     SlotUniverse,
+    packed_item_bitmaps,
+    packed_kernels_enabled,
     validate_representation,
 )
 
@@ -95,21 +97,29 @@ class Partition(FrequentItemsetMiner):
     ) -> ItemsetCounts:
         """Vertical exact counting: AND the items' gid bitmaps."""
         universe = SlotUniverse(groups)
-        item_maps = self.item_gid_bitmaps(groups, universe)
+        if self.representation == "packed" and packed_kernels_enabled(
+            len(universe)
+        ):
+            item_maps = packed_item_bitmaps(groups.items(), universe)
+        else:
+            item_maps = self.item_gid_bitmaps(groups, universe)
         self.stats.universe_sizes["gid"] = len(universe)
         out: ItemsetCounts = {}
         for candidate in candidates:
-            mask = -1
+            # mask=None until the first item's bitmap: works for both
+            # big-int and packed layouts (no all-ones sentinel needed).
+            mask = None
+            missing = False
             for item in candidate:
                 bitmap = item_maps.get(item)
                 if bitmap is None:
-                    mask = 0
+                    missing = True
                     break
-                mask &= bitmap
+                mask = bitmap if mask is None else mask & bitmap
                 self.stats.intersections += 1
                 if not mask:
                     break
-            count = mask.bit_count() if mask > 0 else 0
+            count = 0 if missing or mask is None else mask.bit_count()
             self.stats.popcount_calls += 1
             if count >= min_count:
                 out[candidate] = count

@@ -35,6 +35,8 @@ from repro.algorithms.base import (
 from repro.algorithms.bitset import (
     BitsetStats,
     SlotUniverse,
+    packed_item_bitmaps,
+    packed_kernels_enabled,
     validate_representation,
 )
 
@@ -129,22 +131,30 @@ class ToivonenSampling(FrequentItemsetMiner):
                         counts[candidate] += 1
             return counts
         universe = SlotUniverse(groups)
-        item_maps = self.item_gid_bitmaps(groups, universe)
+        if self.representation == "packed" and packed_kernels_enabled(
+            len(universe)
+        ):
+            item_maps = packed_item_bitmaps(groups.items(), universe)
+        else:
+            item_maps = self.item_gid_bitmaps(groups, universe)
         self.stats.universe_sizes["gid"] = len(universe)
         counts = {}
         for candidate in candidates:
-            mask = -1
+            mask = None
+            missing = False
             for item in candidate:
                 bitmap = item_maps.get(item)
                 if bitmap is None:
-                    mask = 0
+                    missing = True
                     break
-                mask &= bitmap
+                mask = bitmap if mask is None else mask & bitmap
                 self.stats.intersections += 1
                 if not mask:
                     break
             self.stats.popcount_calls += 1
-            counts[candidate] = mask.bit_count() if mask > 0 else 0
+            counts[candidate] = (
+                0 if missing or mask is None else mask.bit_count()
+            )
         return counts
 
     @staticmethod

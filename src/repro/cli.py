@@ -102,6 +102,9 @@ class Shell:
         slowlog=None,
         health=None,
         json_log=None,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        shard_start_method: Optional[str] = None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
@@ -112,7 +115,8 @@ class Shell:
         self.system = MiningSystem(
             algorithm=algorithm, retry_policy=retry_policy,
             tracer=self.tracer, metrics=metrics, slowlog=slowlog,
-            health=health,
+            health=health, workers=workers, shards=shards,
+            shard_start_method=shard_start_method,
         )
         #: resume MINE RULE statements from crash checkpoints
         self.resume = resume
@@ -323,6 +327,9 @@ class Shell:
                 metrics=self.metrics,
                 slowlog=self.slowlog,
                 health=self.health,
+                workers=self.system.workers,
+                shards=self.system.shards,
+                shard_start_method=self.system.shard_start_method,
             )
             return f"restored catalog from {argument}"
         if command == ".timing":
@@ -400,6 +407,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="resume MINE RULE statements from crash checkpoints",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the core operator across N worker processes "
+        "(1 = serial; see repro.parallel)",
+    )
+    parser.add_argument(
+        "--shard-start-method", default=None, metavar="METHOD",
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for the shard pool "
+        "(default: platform default)",
+    )
+    parser.add_argument(
         "--retries", type=int, default=None, metavar="N",
         help="retry faulted pipeline stages up to N attempts "
         "(capped exponential backoff)",
@@ -449,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         resume=args.resume,
         tracer=tracer,
         json_log=json_log,
+        workers=args.workers,
+        shard_start_method=args.shard_start_method,
     )
     try:
         if args.command or args.file:

@@ -11,11 +11,17 @@
 """
 
 from repro.datagen.clickstream import load_clickstream
-from repro.datagen.quest import QuestParameters, generate_quest, load_quest
-from repro.datagen.telecom import load_telecom
+from repro.datagen.quest import (
+    QuestParameters,
+    generate_quest,
+    iter_baskets,
+    load_quest,
+)
+from repro.datagen.telecom import iter_call_rows, load_telecom
 from repro.datagen.retail import (
     PURCHASE_COLUMNS,
     figure1_rows,
+    iter_purchase_rows,
     load_purchase_figure1,
     load_purchase_synthetic,
 )
@@ -25,6 +31,9 @@ __all__ = [
     "QuestParameters",
     "figure1_rows",
     "generate_quest",
+    "iter_baskets",
+    "iter_call_rows",
+    "iter_purchase_rows",
     "load_clickstream",
     "load_purchase_figure1",
     "load_purchase_synthetic",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.sqlengine.engine import Database
 from repro.sqlengine.table import Table
@@ -48,8 +48,16 @@ class QuestParameters:
         return f"T{t}.I{i}.D{self.transactions}"
 
 
-def generate_quest(params: QuestParameters) -> Dict[int, frozenset]:
-    """Generate ``{tid: frozenset(item ids)}`` baskets."""
+def _basket_stream(
+    params: QuestParameters,
+) -> Iterator[Tuple[int, frozenset]]:
+    """Yield ``(tid, basket)`` pairs in tid order, one at a time.
+
+    The single RNG path shared by :func:`generate_quest` and
+    :func:`iter_baskets`: the pattern pool is drawn up front, then each
+    basket consumes the stream of random draws in a fixed order, so
+    chunked and materialized generation are bit-identical.
+    """
     rng = random.Random(params.seed)
 
     patterns = _potentially_large_itemsets(params, rng)
@@ -58,7 +66,6 @@ def generate_quest(params: QuestParameters) -> Dict[int, frozenset]:
         min(0.9, abs(rng.gauss(params.corruption, 0.1))) for _ in patterns
     ]
 
-    baskets: Dict[int, frozenset] = {}
     for tid in range(1, params.transactions + 1):
         target = max(1, _poisson(params.avg_transaction_size - 1, rng) + 1)
         basket: set = set()
@@ -79,8 +86,36 @@ def generate_quest(params: QuestParameters) -> Dict[int, frozenset]:
             basket.update(kept)
         if not basket:
             basket.add(rng.randrange(params.items))
-        baskets[tid] = frozenset(basket)
-    return baskets
+        yield tid, frozenset(basket)
+
+
+def generate_quest(params: QuestParameters) -> Dict[int, frozenset]:
+    """Generate ``{tid: frozenset(item ids)}`` baskets."""
+    return dict(_basket_stream(params))
+
+
+def iter_baskets(
+    params: QuestParameters, chunk_size: int = 10_000
+) -> Iterator[List[Tuple[int, frozenset]]]:
+    """Yield baskets in chunks of ``chunk_size`` ``(tid, basket)``
+    pairs (the last chunk may be shorter).
+
+    Peak memory is bounded by one chunk plus the pattern pool, so
+    million-group workloads can be generated — and fed shard by shard
+    to the sharded executor — without materializing the full basket
+    dictionary that :func:`generate_quest` returns.  Same seed, same
+    baskets: the chunking only batches the underlying stream.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunk: List[Tuple[int, frozenset]] = []
+    for pair in _basket_stream(params):
+        chunk.append(pair)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def load_quest(

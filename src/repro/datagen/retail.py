@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import datetime
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.sqlengine.engine import Database
 from repro.sqlengine.table import Table
@@ -71,6 +71,87 @@ _CATALOG_BANDS = (
 )
 
 
+def _purchase_row_stream(
+    customers: int,
+    days: int,
+    transactions_per_customer: int,
+    items_per_transaction: int,
+    catalog_size: int,
+    seed: int,
+    start_date: Optional[datetime.date],
+) -> Iterator[Tuple]:
+    """Yield synthetic Purchase rows one at a time, in table order.
+
+    Single RNG path shared by :func:`load_purchase_synthetic` and
+    :func:`iter_purchase_rows`, so chunked and materialized generation
+    produce identical rows.
+    """
+    rng = random.Random(seed)
+    start = start_date or datetime.date(1995, 1, 1)
+
+    catalog: List[Tuple[str, float]] = []
+    for index in range(catalog_size):
+        stem, (low, high) = _CATALOG_BANDS[index % len(_CATALOG_BANDS)]
+        price = round(rng.uniform(low, high), 2)
+        catalog.append((f"{stem}_{index}", price))
+
+    transaction_id = 0
+    for customer_index in range(customers):
+        customer = f"cust{customer_index + 1}"
+        for _ in range(transactions_per_customer):
+            transaction_id += 1
+            date = start + datetime.timedelta(days=rng.randrange(days))
+            basket_size = max(1, round(rng.gauss(items_per_transaction, 1.5)))
+            chosen = set()
+            for _ in range(basket_size):
+                # Quadratic skew towards the head of the catalogue.
+                index = int(catalog_size * rng.random() ** 2)
+                chosen.add(min(index, catalog_size - 1))
+            for index in sorted(chosen):
+                item, price = catalog[index]
+                yield (
+                    transaction_id,
+                    customer,
+                    item,
+                    date,
+                    price,
+                    rng.randint(1, 3),
+                )
+
+
+def iter_purchase_rows(
+    customers: int = 50,
+    days: int = 10,
+    transactions_per_customer: int = 4,
+    items_per_transaction: int = 4,
+    catalog_size: int = 60,
+    seed: int = 7,
+    start_date: Optional[datetime.date] = None,
+    chunk_size: int = 10_000,
+) -> Iterator[List[Tuple]]:
+    """Yield synthetic Purchase rows in chunks of ``chunk_size``.
+
+    Bounded-memory counterpart of :func:`load_purchase_synthetic`
+    (same parameters, same seed, identical rows): peak memory is one
+    chunk plus the item catalogue, so million-transaction stores can be
+    streamed into external sinks or per-shard loads.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    stream = _purchase_row_stream(
+        customers, days, transactions_per_customer, items_per_transaction,
+        catalog_size, seed, start_date,
+    )
+    chunk: List[Tuple] = []
+    for row in stream:
+        chunk.append(row)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def load_purchase_synthetic(
     database: Database,
     customers: int = 50,
@@ -89,40 +170,12 @@ def load_purchase_synthetic(
     are drawn per item from its catalogue band and then fixed, keeping
     price-based mining conditions consistent across tuples.
     """
-    rng = random.Random(seed)
-    start = start_date or datetime.date(1995, 1, 1)
-
-    catalog: List[Tuple[str, float]] = []
-    for index in range(catalog_size):
-        stem, (low, high) = _CATALOG_BANDS[index % len(_CATALOG_BANDS)]
-        price = round(rng.uniform(low, high), 2)
-        catalog.append((f"{stem}_{index}", price))
-
-    rows: List[Tuple] = []
-    transaction_id = 0
-    for customer_index in range(customers):
-        customer = f"cust{customer_index + 1}"
-        for _ in range(transactions_per_customer):
-            transaction_id += 1
-            date = start + datetime.timedelta(days=rng.randrange(days))
-            basket_size = max(1, round(rng.gauss(items_per_transaction, 1.5)))
-            chosen = set()
-            for _ in range(basket_size):
-                # Quadratic skew towards the head of the catalogue.
-                index = int(catalog_size * rng.random() ** 2)
-                chosen.add(min(index, catalog_size - 1))
-            for index in sorted(chosen):
-                item, price = catalog[index]
-                rows.append(
-                    (
-                        transaction_id,
-                        customer,
-                        item,
-                        date,
-                        price,
-                        rng.randint(1, 3),
-                    )
-                )
+    rows = list(
+        _purchase_row_stream(
+            customers, days, transactions_per_customer,
+            items_per_transaction, catalog_size, seed, start_date,
+        )
+    )
     return database.create_table_from_rows(
         table_name, PURCHASE_COLUMNS, rows, _PURCHASE_TYPES, replace=True
     )

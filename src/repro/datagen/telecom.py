@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import datetime
 import random
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.sqlengine.engine import Database
 from repro.sqlengine.table import Table
@@ -39,20 +39,22 @@ _RATES = {"local": 0.05, "national": 0.15, "international": 0.60,
           "premium": 2.00}
 
 
-def load_telecom(
-    database: Database,
-    subscribers: int = 50,
-    days: int = 7,
-    calls_per_day: float = 3.0,
-    circle_size: int = 5,
-    premium_fraction: float = 0.08,
-    seed: int = 41,
-    table_name: str = "Calls",
-    start_date: datetime.date = datetime.date(1997, 3, 1),
-) -> Table:
-    """Create a Calls table with socially-structured traffic."""
+def _call_row_stream(
+    subscribers: int,
+    days: int,
+    calls_per_day: float,
+    circle_size: int,
+    premium_fraction: float,
+    seed: int,
+    start_date: datetime.date,
+) -> Iterator[Tuple]:
+    """Yield Calls rows one at a time, in table order.
+
+    Single RNG path shared by :func:`load_telecom` and
+    :func:`iter_call_rows`, so chunked and materialized generation
+    produce identical rows.
+    """
     rng = random.Random(seed)
-    rows: List[Tuple] = []
 
     for subscriber_index in range(subscribers):
         caller = f"sub{subscriber_index + 1}"
@@ -87,9 +89,60 @@ def load_telecom(
                 )
                 duration = max(1, round(rng.expovariate(1 / 4.0)))
                 cost = round(duration * _RATES[calltype], 2)
-                rows.append(
-                    (caller, callee, cdate, hour, duration, cost, calltype)
+                yield (
+                    caller, callee, cdate, hour, duration, cost, calltype
                 )
+
+
+def iter_call_rows(
+    subscribers: int = 50,
+    days: int = 7,
+    calls_per_day: float = 3.0,
+    circle_size: int = 5,
+    premium_fraction: float = 0.08,
+    seed: int = 41,
+    start_date: datetime.date = datetime.date(1997, 3, 1),
+    chunk_size: int = 10_000,
+) -> Iterator[List[Tuple]]:
+    """Yield Calls rows in chunks of ``chunk_size``.
+
+    Bounded-memory counterpart of :func:`load_telecom` (same
+    parameters, same seed, identical rows).
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    stream = _call_row_stream(
+        subscribers, days, calls_per_day, circle_size, premium_fraction,
+        seed, start_date,
+    )
+    chunk: List[Tuple] = []
+    for row in stream:
+        chunk.append(row)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def load_telecom(
+    database: Database,
+    subscribers: int = 50,
+    days: int = 7,
+    calls_per_day: float = 3.0,
+    circle_size: int = 5,
+    premium_fraction: float = 0.08,
+    seed: int = 41,
+    table_name: str = "Calls",
+    start_date: datetime.date = datetime.date(1997, 3, 1),
+) -> Table:
+    """Create a Calls table with socially-structured traffic."""
+    rows = list(
+        _call_row_stream(
+            subscribers, days, calls_per_day, circle_size,
+            premium_fraction, seed, start_date,
+        )
+    )
     return database.create_table_from_rows(
         table_name,
         CALL_COLUMNS,

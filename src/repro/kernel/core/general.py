@@ -117,15 +117,32 @@ class GeneralCoreOperator:
     def run(
         self, data: GeneralInput, directives: CoreDirectives
     ) -> List[EncodedRule]:
-        self.lattice_sizes = {}
-        self.join_pairs_examined = 0
-        self.bitmap_stats.clear()
-        self._triples = (
-            GroupedUniverse() if self.representation == "bitset" else None
-        )
-        self._body_pairs = None
+        lattice = self.mine_lattice(data, directives)
+        rules = self._emit(lattice, data, directives)
+        self.finalize_stats()
+        return rules
+
+    def mine_lattice(
+        self,
+        data: GeneralInput,
+        directives: CoreDirectives,
+        min_count: Optional[int] = None,
+    ) -> Dict[Tuple[int, int], RuleSet]:
+        """Compute the full rule lattice, pruned at ``min_count``
+        (default: the input's own threshold).
+
+        The explicit ``min_count`` override is what the sharded
+        executor (:mod:`repro.parallel`) uses for phase-1 local mining
+        with a proportionally scaled threshold; the returned lattice's
+        keys are then a complete candidate superset of the globally
+        frequent rules.  Resets the per-run state; call
+        :meth:`finalize_stats` afterwards if the run skips
+        :meth:`run`'s emission step.
+        """
+        self._reset()
+        threshold = data.min_count if min_count is None else min_count
         elementary = self._elementary_rules(data)
-        elementary = self._prune(elementary, data.min_count)
+        elementary = self._prune(elementary, threshold)
         self.lattice_sizes[(1, 1)] = len(elementary)
 
         body_min, body_max = directives.body_card
@@ -141,15 +158,75 @@ class GeneralCoreOperator:
                     continue
                 if body_max is None or m + 1 <= body_max:
                     self._compute_set(
-                        lattice, (m + 1, n), data.min_count, next_frontier
+                        lattice, (m + 1, n), threshold, next_frontier
                     )
                 if head_max is None or n + 1 <= head_max:
                     self._compute_set(
-                        lattice, (m, n + 1), data.min_count, next_frontier
+                        lattice, (m, n + 1), threshold, next_frontier
                     )
             frontier = next_frontier
+        return lattice
 
-        rules = self._emit(lattice, data, directives)
+    def exact_counts(
+        self,
+        data: GeneralInput,
+        rule_keys: List[RuleKey],
+        bodies: List[Tuple[int, ...]],
+    ) -> Tuple[List[int], List[int]]:
+        """Exact per-input counts for candidate rules mined elsewhere
+        (the sharded recount pass).
+
+        For each canonical key in ``rule_keys`` the rule's
+        distinct-group support count on *data*; for each sorted body
+        tuple in ``bodies`` its distinct-group occurrence count.  A
+        composite rule's support set equals the intersection of the
+        elementary supports of every (body item, head item) pair —
+        exactly what the lattice joins compute, independent of join
+        order — so the counts here match what :meth:`run` would
+        observe.  Both counts are additive across gid-disjoint inputs,
+        which is what makes the shard merge exact.
+        """
+        self._reset()
+        elementary = self._elementary_rules(data)
+        support_counts: List[int] = []
+        for body, head in rule_keys:
+            shared: Optional[Support] = None
+            empty = False
+            for bid in body:
+                if empty:
+                    break
+                for hid in head:
+                    support = elementary.get(((bid,), (hid,)))
+                    if not support:
+                        empty = True
+                        break
+                    shared = support if shared is None else shared & support
+                    if not shared:
+                        empty = True
+                        break
+            support_counts.append(
+                0 if empty or shared is None else self._group_count(shared)
+            )
+        occurrences = self._body_occurrence_index(data)
+        cache: Dict[Tuple[int, ...], int] = {}
+        body_counts = [
+            self._body_count(body, occurrences, cache) for body in bodies
+        ]
+        self.finalize_stats()
+        return support_counts, body_counts
+
+    def _reset(self) -> None:
+        self.lattice_sizes = {}
+        self.join_pairs_examined = 0
+        self.bitmap_stats.clear()
+        self._triples = (
+            GroupedUniverse() if self.representation == "bitset" else None
+        )
+        self._body_pairs = None
+
+    def finalize_stats(self) -> None:
+        """Fold the universe counters of the finished run into
+        :attr:`bitmap_stats` (idempotence not required: call once)."""
         if self._triples is not None:
             stats = self.bitmap_stats
             stats.universe_sizes["triple"] = len(self._triples)
@@ -158,7 +235,6 @@ class GeneralCoreOperator:
             stats.popcount_calls += self._triples.group_count_calls
             if self._body_pairs is not None:
                 stats.popcount_calls += self._body_pairs.group_count_calls
-        return rules
 
     # ------------------------------------------------------------------
     # elementary rules

@@ -25,6 +25,56 @@ from repro.kernel.core.rules import EncodedRule
 from repro.kernel.program import CoreDirectives
 
 
+def build_rules(
+    counts: Dict[FrozenSet[int], int],
+    totg: int,
+    directives: CoreDirectives,
+) -> List[EncodedRule]:
+    """(L - H) => H extraction over exact itemset *counts*, sorted by
+    the canonical (body, head) key.
+
+    Shared by the serial :class:`SimpleCoreOperator` and the sharded
+    executor's merge stage (:mod:`repro.parallel`): both feed it the
+    same subset-closed count table, so the emitted rule lists are bit
+    identical regardless of how the counts were obtained.
+    """
+    body_min, body_max = directives.body_card
+    head_min, head_max = directives.head_card
+    min_confidence = directives.min_confidence
+
+    rules: List[EncodedRule] = []
+    for itemset, itemset_count in counts.items():
+        size = len(itemset)
+        if size < body_min + head_min:
+            continue
+        largest_head = size - body_min
+        if head_max is not None:
+            largest_head = min(largest_head, head_max)
+        ordered = sorted(itemset)
+        for head_size in range(head_min, largest_head + 1):
+            body_size = size - head_size
+            if body_max is not None and body_size > body_max:
+                continue
+            for head in itertools.combinations(ordered, head_size):
+                body = itemset - frozenset(head)
+                body_count = counts[body]
+                confidence = itemset_count / body_count
+                if confidence + _EPSILON < min_confidence:
+                    continue
+                rules.append(
+                    EncodedRule(
+                        body=body,
+                        head=frozenset(head),
+                        support_count=itemset_count,
+                        body_count=body_count,
+                        support=itemset_count / totg if totg else 0.0,
+                        confidence=confidence,
+                    )
+                )
+    rules.sort(key=EncodedRule.key)
+    return rules
+
+
 class SimpleCoreOperator:
     """Large itemsets via the pool, then (L - H) => H rule extraction."""
 
@@ -41,49 +91,4 @@ class SimpleCoreOperator:
         """
         faults.check("core.simple")
         counts = self.algorithm.mine(data.groups, data.min_count)
-        rules = self._build_rules(counts, data.totg, directives)
-        rules.sort(key=EncodedRule.key)
-        return rules
-
-    # ------------------------------------------------------------------
-
-    def _build_rules(
-        self,
-        counts: Dict[FrozenSet[int], int],
-        totg: int,
-        directives: CoreDirectives,
-    ) -> List[EncodedRule]:
-        body_min, body_max = directives.body_card
-        head_min, head_max = directives.head_card
-        min_confidence = directives.min_confidence
-
-        rules: List[EncodedRule] = []
-        for itemset, itemset_count in counts.items():
-            size = len(itemset)
-            if size < body_min + head_min:
-                continue
-            largest_head = size - body_min
-            if head_max is not None:
-                largest_head = min(largest_head, head_max)
-            ordered = sorted(itemset)
-            for head_size in range(head_min, largest_head + 1):
-                body_size = size - head_size
-                if body_max is not None and body_size > body_max:
-                    continue
-                for head in itertools.combinations(ordered, head_size):
-                    body = itemset - frozenset(head)
-                    body_count = counts[body]
-                    confidence = itemset_count / body_count
-                    if confidence + _EPSILON < min_confidence:
-                        continue
-                    rules.append(
-                        EncodedRule(
-                            body=body,
-                            head=frozenset(head),
-                            support_count=itemset_count,
-                            body_count=body_count,
-                            support=itemset_count / totg if totg else 0.0,
-                            confidence=confidence,
-                        )
-                    )
-        return rules
+        return build_rules(counts, data.totg, directives)

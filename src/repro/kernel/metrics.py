@@ -54,6 +54,10 @@ class CoreStats:
     passes: int = 0
     candidates_generated: int = 0
     bitset_density: float = 0.0
+    #: sharded execution (repro.parallel): gid ranges and pool width
+    #: of the run (0 when the core ran serially)
+    shards: int = 0
+    workers: int = 0
 
     @classmethod
     def from_general(cls, operator) -> "CoreStats":
@@ -137,6 +141,15 @@ class CoreStats:
             "repro_core_bitset_density",
             "Fraction of set bits in the sampled bitmaps (last run)",
         ).set(round(self.bitset_density, 6))
+        if self.shards:
+            metrics.gauge(
+                "repro_core_shards",
+                "Shard count of the last sharded core run",
+            ).set(self.shards)
+            metrics.gauge(
+                "repro_core_workers",
+                "Worker-pool width of the last sharded core run",
+            ).set(self.workers)
         metrics.counter(
             "repro_core_runs_total",
             "Core-operator runs by variant and representation",
@@ -148,6 +161,8 @@ class CoreStats:
         parts = [f"{self.variant} core, {self.representation} sets"]
         if self.algorithm:
             parts.append(f"algorithm {self.algorithm}")
+        if self.shards:
+            parts.append(f"{self.shards} shards x {self.workers} workers")
         if self.lattice_sizes:
             total = sum(self.lattice_sizes.values())
             parts.append(

@@ -61,6 +61,8 @@ class MineRuleService:
         log_json: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        workers: int = 1,
+        shard_start_method: Optional[str] = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = Tracer(
@@ -77,6 +79,8 @@ class MineRuleService:
             slowlog=self.slowlog,
             health=self.health,
             json_log=self.json_log,
+            workers=workers,
+            shard_start_method=shard_start_method,
         )
         if scenario is not None:
             loader = SCENARIOS[scenario]
@@ -169,6 +173,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="retry faulted pipeline stages up to N attempts",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the core operator across N worker processes",
+    )
+    parser.add_argument(
+        "--shard-start-method", default=None, metavar="METHOD",
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for the shard pool",
+    )
+    parser.add_argument(
         "--fault-schedule", default=None, metavar="SPEC",
         help="install a deterministic fault schedule (chaos drills)",
     )
@@ -198,6 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         analyze=args.analyze,
         log_json=args.log_json,
         retry_policy=retry_policy,
+        workers=args.workers,
+        shard_start_method=args.shard_start_method,
     )
     service.start()
     print(

@@ -56,6 +56,7 @@ from repro.obs.metrics import (
     publish_gauge,
 )
 from repro.obs.spans import NULL_TRACER, Tracer
+from repro.parallel import ShardedMiner
 from repro.sqlengine.engine import Database
 from repro.sqlengine.render import render_expr
 
@@ -115,12 +116,15 @@ class MiningSystem:
         database: Optional[Database] = None,
         algorithm: Union[str, FrequentItemsetMiner] = "apriori",
         reuse_preprocessing: bool = True,
-        representation: str = "bitset",
+        representation: Optional[str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         slowlog: Optional[Any] = None,
         health: Optional[Any] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        shard_start_method: Optional[str] = None,
     ):
         self.db = database if database is not None else Database()
         #: observability sink for the whole pipeline (spans, counters,
@@ -148,7 +152,23 @@ class MiningSystem:
         #: run-state tracker (:class:`repro.obs.httpd.HealthState`)
         #: behind a monitoring server's ``/healthz``
         self.health = health
-        self.representation = validate_representation(representation)
+        #: None means "pick for me": serial runs keep the default
+        #: big-int "bitset" layout, sharded runs (workers > 1) upgrade
+        #: to the packed word layout whose construction cost is linear
+        #: and whose payloads pickle cheaply.  An explicit value wins
+        #: in both modes.
+        self._explicit_representation = representation is not None
+        self.representation = validate_representation(
+            representation if representation is not None else "bitset"
+        )
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        #: sharded execution (repro.parallel): process-pool width, gid
+        #: range count (None: one per worker) and start method.
+        #: workers=1 is exactly the serial path.
+        self.workers = int(workers)
+        self.shards = shards
+        self.shard_start_method = shard_start_method
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         if (
@@ -503,6 +523,10 @@ class MiningSystem:
     ) -> Tuple[List[EncodedRule], CoreStats]:
         faults.check("core.load")
         loader = CoreInputLoader(self.db, program.core)
+        if self.workers > 1:
+            if representation == "bitset" and not self._explicit_representation:
+                representation = "packed"
+            return self._mine_sharded(program, flow, loader, representation)
         if program.core.simple:
             data = loader.load_simple()
             if representation == "bitset":
@@ -543,6 +567,73 @@ class MiningSystem:
         )
         encoded_rules = general.run(general_data, program.core)
         return encoded_rules, CoreStats.from_general(general)
+
+    def _mine_sharded(
+        self,
+        program: TranslationProgram,
+        flow: ProcessFlow,
+        loader: CoreInputLoader,
+        representation: str,
+    ) -> Tuple[List[EncodedRule], CoreStats]:
+        """The workers>1 core stage: gid-range sharded local mining,
+        exact recount, merge (:mod:`repro.parallel`).  Bit-identical
+        output to the serial path by construction."""
+        if representation != "set":
+            faults.check("core.bitset")
+        miner = ShardedMiner(
+            workers=self.workers,
+            shards=self.shards,
+            start_method=self.shard_start_method,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        if program.core.simple:
+            data = loader.load_simple()
+            algorithm = self.algorithm
+            restore = None
+            if (
+                hasattr(algorithm, "representation")
+                and algorithm.representation != representation
+            ):
+                restore = algorithm.representation
+                algorithm.representation = representation
+            try:
+                flow.event(
+                    "core",
+                    "sharded simple core processing",
+                    f"algorithm {algorithm.name}, "
+                    f"{len(data.groups)} encoded groups, "
+                    f"{miner.shards} shards x {self.workers} workers"
+                    + (
+                        f" ({self.shard_start_method})"
+                        if self.shard_start_method
+                        else ""
+                    ),
+                )
+                encoded_rules, core_stats = miner.mine_simple(
+                    data, program.core, algorithm
+                )
+            finally:
+                if restore is not None:
+                    algorithm.representation = restore
+        else:
+            general_data = loader.load_general()
+            flow.event(
+                "core",
+                "sharded general core processing",
+                f"{miner.shards} shards x {self.workers} workers, "
+                + (
+                    "elementary rules from InputRules"
+                    if general_data.elementary is not None
+                    else "elementary rules derived from CodedSource"
+                ),
+            )
+            encoded_rules, core_stats = miner.mine_general(
+                general_data, program.core, representation
+            )
+        if miner.degraded:
+            flow.event("core", "degraded", miner.degraded)
+        return encoded_rules, core_stats
 
     def _postprocess_stage(
         self,

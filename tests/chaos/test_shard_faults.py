@@ -1,0 +1,90 @@
+"""Chaos drills for the sharded executor (PR 6).
+
+Fault site ``core.shard.<i>`` is checked in the parent once per shard
+per phase (local mining, exact recount), so arming it kills the run
+just before that shard's work is dispatched — ``call=1`` lands before
+phase 1, ``call=2`` mid-run between local mining and the recount.
+Every drill must end bit-identical to the fault-free *serial*
+baseline: the executor's crash/retry/resume story cannot cost the
+bit-identity guarantee.
+"""
+
+import pytest
+
+from repro import FaultError, FaultSchedule, RetryPolicy, faults
+
+from .conftest import (
+    NO_SLEEP,
+    STATEMENTS,
+    fresh_system,
+    output_fingerprint,
+)
+
+RETRY = RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0)
+
+
+@pytest.mark.parametrize("name", ["simple", "paper"])
+@pytest.mark.parametrize("call", [1, 2], ids=["before-local", "mid-count"])
+def test_kill_shard_then_resume_bit_identical(name, call, baselines):
+    """Crash shard 1 (before dispatch / between phases), then resume
+    from the checkpoint: output identical to the serial baseline."""
+    base_rules, base_text = baselines[name]
+    system = fresh_system(workers=2)
+    schedule = FaultSchedule(sleep=NO_SLEEP).arm("core.shard.1", call=call)
+    with faults.injected(schedule):
+        with pytest.raises(FaultError) as excinfo:
+            system.run(STATEMENTS[name])
+    assert excinfo.value.site == "core.shard.1"
+    assert system.checkpoint_for(STATEMENTS[name]) is not None
+
+    result = system.run(STATEMENTS[name], resume=True)
+    assert result.rule_set() == base_rules
+    assert output_fingerprint(system, result.output_table) == base_text
+    assert system.checkpoint_for(STATEMENTS[name]) is None
+    assert result.resilience.stages_resumed > 0
+
+
+@pytest.mark.parametrize("name", ["simple", "paper"])
+def test_kill_shard_then_retry_bit_identical(name, baselines):
+    """A retry policy carries the run through a one-shot shard kill."""
+    base_rules, base_text = baselines[name]
+    system = fresh_system(workers=2)
+    schedule = FaultSchedule(sleep=NO_SLEEP).arm("core.shard.0", call=1)
+    with faults.injected(schedule):
+        result = system.run(STATEMENTS[name], retry=RETRY)
+    assert result.rule_set() == base_rules
+    assert output_fingerprint(system, result.output_table) == base_text
+    assert result.resilience.faults_injected == 1
+    assert result.resilience.retries >= 1
+
+
+def test_kill_every_shard_once_with_retries(baselines):
+    """One schedule that faults both shards; retries survive it."""
+    base_rules, base_text = baselines["simple"]
+    schedule = FaultSchedule(sleep=NO_SLEEP)
+    schedule.arm("core.shard.0", call=1)
+    schedule.arm("core.shard.1", call=2)
+    system = fresh_system(workers=2)
+    with faults.injected(schedule):
+        result = system.run(STATEMENTS["simple"], retry=RETRY)
+    assert result.rule_set() == base_rules
+    assert output_fingerprint(system, result.output_table) == base_text
+    assert result.resilience.faults_injected == 2
+
+
+def test_bitset_degradation_under_sharding(baselines):
+    """A persistently failing bitset layer degrades the sharded run to
+    the set layout — still bit-identical to the serial baseline."""
+    base_rules, base_text = baselines["simple"]
+    system = fresh_system(workers=2)
+    with faults.injected(
+        FaultSchedule(sleep=NO_SLEEP).arm("core.bitset", times=99)
+    ):
+        result = system.run(STATEMENTS["simple"], retry=RETRY)
+    assert result.rule_set() == base_rules
+    assert output_fingerprint(system, result.output_table) == base_text
+    assert any(
+        "bitset -> set" in note for note in result.resilience.degraded
+    )
+    assert result.core_stats.representation == "set"
+    assert result.core_stats.shards == 2

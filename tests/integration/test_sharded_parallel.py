@@ -1,0 +1,78 @@
+"""Sharded execution against the golden dumps (PR 6).
+
+The CI parallel-smoke contract: running every Appendix-A golden
+statement with ``workers=2`` — real worker processes, under both fork
+and spawn start methods — produces output relations byte-identical to
+the serial golden files.  A tracing run and an explicit ``shards >
+groups`` run (empty shards) are covered too, since both must leave the
+mined output untouched.
+"""
+
+import sys
+
+import pytest
+
+from repro import Database, MiningSystem
+from repro.datagen import load_purchase_figure1
+from repro.obs import Tracer
+from repro.sqlengine.dump import dump_table_text
+from tests.integration.test_golden_outputs import (
+    GOLDEN_DIR,
+    GOLDEN_STATEMENTS,
+)
+
+
+def _golden_text(name, table):
+    return (GOLDEN_DIR / f"{name}__{table}.golden.txt").read_text(
+        encoding="utf-8"
+    )
+
+
+def _assert_matches_golden(name, **system_kwargs):
+    database = Database()
+    load_purchase_figure1(database)
+    system = MiningSystem(database=database, **system_kwargs)
+    result = system.run(GOLDEN_STATEMENTS[name])
+    out = result.output_table
+    for table in (out, f"{out}_Bodies", f"{out}_Heads", f"{out}_Display"):
+        assert dump_table_text(database, table) == _golden_text(
+            name, table
+        ), f"{table} diverged from golden under {system_kwargs}"
+    return result
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_STATEMENTS))
+def test_workers2_fork_matches_golden(name):
+    if sys.platform == "win32":  # pragma: no cover - POSIX CI
+        pytest.skip("fork start method is POSIX-only")
+    result = _assert_matches_golden(
+        name, workers=2, shard_start_method="fork"
+    )
+    assert result.core_stats.shards == 2
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_STATEMENTS))
+def test_workers2_spawn_matches_golden(name):
+    _assert_matches_golden(name, workers=2, shard_start_method="spawn")
+
+
+def test_empty_shards_match_golden():
+    # Figure 1 has 2 customers; 4 shards leaves two of them empty
+    result = _assert_matches_golden(
+        "simple_associations", workers=2, shards=4
+    )
+    assert result.core_stats.shards == 4
+
+
+def test_sharded_run_under_tracing_matches_golden():
+    tracer = Tracer(enabled=True)
+    _assert_matches_golden(
+        "filtered_ordered_sets", workers=2, tracer=tracer
+    )
+    names = {span.name for span in tracer.spans}
+    assert "core.shards.local" in names
+    assert "core.shards.recount" in names
+    shard_events = [
+        event for event in tracer.instants if event.name == "core.shard"
+    ]
+    assert len(shard_events) == 4  # 2 shards x 2 phases

@@ -1,0 +1,191 @@
+"""Differential tests for the sharded executor (PR 6).
+
+The contract of :mod:`repro.parallel` is *bit-identity*: for any
+worker/shard count — including ragged gid ranges and more shards than
+groups (empty shards) — the sharded two-phase run (local mining with
+Partition-scaled thresholds, exact recount, merge) must emit exactly
+the rule list of the serial core operators: same integers, same float
+divisions, same canonical sort.  Randomized inputs come from the same
+hypothesis strategies as the PR 2 representation differential.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import get_algorithm
+from repro.kernel.core.general import GeneralCoreOperator
+from repro.kernel.core.inputs import SimpleInput
+from repro.kernel.core.simple import SimpleCoreOperator
+from repro.kernel.program import CoreDirectives
+from repro.parallel import ShardedMiner, ShardPlan, local_min_count
+from tests.property.test_bitset_differential import (
+    clustered_inputs,
+    elementary_inputs,
+    group_maps,
+    thresholds,
+)
+
+#: (workers, shards) grids covering even splits, ragged boundaries and
+#: empty shards (more shards than the largest strategy group map)
+SHARDINGS = [(2, None), (4, None), (4, 7), (2, 13)]
+
+
+def _simple_directives(min_confidence=0.0, head_max=1):
+    return CoreDirectives(
+        simple=True,
+        same_schema=True,
+        clustered=False,
+        cluster_condition=False,
+        mining_condition=False,
+        coded_source="CS",
+        cluster_couples=None,
+        input_rules=None,
+        min_support=0.0,
+        min_confidence=min_confidence,
+        body_card=(1, None),
+        head_card=(1, head_max),
+    )
+
+
+class TestShardedSimpleMatchesSerial:
+    @pytest.mark.parametrize("workers,shards", SHARDINGS)
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_rules(self, workers, shards, groups, min_count):
+        data = SimpleInput(
+            totg=len(groups), min_count=min_count, groups=groups
+        )
+        directives = _simple_directives(min_confidence=0.3)
+        serial = SimpleCoreOperator(get_algorithm("apriori")).run(
+            data, directives
+        )
+        miner = ShardedMiner(
+            workers=workers, shards=shards, in_process=True
+        )
+        sharded, stats = miner.mine_simple(
+            data, directives, get_algorithm("apriori")
+        )
+        assert sharded == serial
+        assert stats.shards == (shards if shards is not None else workers)
+
+    @pytest.mark.parametrize(
+        "representation", ["bitset", "packed", "set"]
+    )
+    @given(groups=group_maps, min_count=thresholds)
+    @settings(max_examples=15, deadline=None)
+    def test_representations_agree(self, representation, groups, min_count):
+        data = SimpleInput(
+            totg=len(groups), min_count=min_count, groups=groups
+        )
+        directives = _simple_directives()
+        serial = SimpleCoreOperator(get_algorithm("apriori")).run(
+            data, directives
+        )
+        miner = ShardedMiner(workers=3, in_process=True)
+        sharded, _ = miner.mine_simple(
+            data,
+            directives,
+            get_algorithm("apriori", representation=representation),
+        )
+        assert sharded == serial
+
+
+class TestShardedGeneralMatchesSerial:
+    @pytest.mark.parametrize("workers,shards", SHARDINGS)
+    @given(case=clustered_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_derived_elementary_rules_identical(
+        self, workers, shards, case
+    ):
+        data, directives = case
+        serial = GeneralCoreOperator(representation="bitset").run(
+            data, directives
+        )
+        miner = ShardedMiner(
+            workers=workers, shards=shards, in_process=True
+        )
+        sharded, stats = miner.mine_general(data, directives, "bitset")
+        assert sharded == serial
+        assert stats.variant == "general"
+
+    @given(case=elementary_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_input_rules_path_identical(self, case):
+        data, directives = case
+        serial = GeneralCoreOperator(representation="bitset").run(
+            data, directives
+        )
+        miner = ShardedMiner(workers=4, shards=5, in_process=True)
+        sharded, _ = miner.mine_general(data, directives, "bitset")
+        assert sharded == serial
+
+    @pytest.mark.parametrize("representation", ["set", "packed"])
+    @given(case=clustered_inputs())
+    @settings(max_examples=10, deadline=None)
+    def test_representations_agree(self, representation, case):
+        data, directives = case
+        serial = GeneralCoreOperator(representation="set").run(
+            data, directives
+        )
+        miner = ShardedMiner(workers=2, in_process=True)
+        sharded, _ = miner.mine_general(data, directives, representation)
+        assert sharded == serial
+
+
+class TestShardPlanInvariants:
+    @given(
+        gids=st.sets(st.integers(min_value=0, max_value=500), max_size=60),
+        shards=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_partitions_the_universe(self, gids, shards):
+        plan = ShardPlan.split(gids, shards)
+        assert plan.total == len(gids)
+        assert len(plan.bounds) == len(plan.sizes) == shards
+        # balanced to within one group
+        non_empty = [s for s in plan.sizes if s]
+        if non_empty:
+            assert max(plan.sizes) - min(plan.sizes) <= 1
+        # ranges are disjoint, ordered, and cover every gid exactly once
+        covered = []
+        previous_hi = None
+        for span, size in zip(plan.bounds, plan.sizes):
+            if span is None:
+                assert size == 0
+                continue
+            lo, hi = span
+            assert lo <= hi
+            if previous_hi is not None:
+                assert lo > previous_hi
+            previous_hi = hi
+            members = [g for g in gids if lo <= g <= hi]
+            assert len(members) == size
+            covered.extend(members)
+        assert sorted(covered) == sorted(gids)
+        for gid in gids:
+            index = plan.shard_of(gid)
+            lo, hi = plan.bounds[index]
+            assert lo <= gid <= hi
+
+    @given(
+        min_count=st.integers(min_value=1, max_value=50),
+        total=st.integers(min_value=1, max_value=1000),
+        shards=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_local_threshold_never_misses(self, min_count, total, shards):
+        """Partition's completeness argument: if an itemset reaches
+        ``min_count`` globally, it reaches the scaled local threshold
+        in at least one shard (pigeonhole over the shard sizes)."""
+        plan = ShardPlan.split(range(1, total + 1), shards)
+        locals_ = [
+            local_min_count(min_count, total, size) for size in plan.sizes
+        ]
+        # a global count of min_count spread worst-case over shards
+        # still hits some local threshold: sum of (local - 1) < min_count
+        slack = sum(
+            max(0, locals_[i] - 1)
+            for i in range(shards)
+            if plan.sizes[i]
+        )
+        assert slack < max(1, min_count)

@@ -25,12 +25,19 @@ def test_flatten_keeps_numeric_leaves_only():
                 "runs": 300,
                 "query": "SELECT 1",
                 "quick": False,  # bools are config, not metrics
-                "nested": {"x": 1},
+                "nested": {"x": 1, "label": "fork", "deeper": {"y": 2}},
+                "workload": {"transactions": 400},
             },
             "not_a_dict": 7,
         }
     )
-    assert flat == {"scenario.speedup": 4.5, "scenario.runs": 300}
+    # one sub-dict level is followed; strings/bools, anything nested
+    # deeper, and the workload descriptor are dropped
+    assert flat == {
+        "scenario.speedup": 4.5,
+        "scenario.runs": 300,
+        "scenario.nested.x": 1,
+    }
 
 
 def test_missing_pr_becomes_blank_column(tmp_path):
@@ -76,3 +83,6 @@ def test_checked_in_artifacts_aggregate():
     )  # PR3 shipped no bench artifact
     metrics = {row["metric"] for row in trend["rows"]}
     assert "metrics_overhead.disabled_ratio" in metrics
+    # PR6's speedup-vs-workers sub-dict must surface as rows
+    assert "sharded_speedup.speedup.workers4" in metrics
+    assert "pool_eclat.seconds.eclat_diffsets" in metrics

@@ -40,10 +40,17 @@ def discover_artifacts(root: Path) -> List[Tuple[int, Path]]:
     return sorted(found)
 
 
+def _numeric(value: object) -> bool:
+    return not isinstance(value, bool) and isinstance(value, (int, float))
+
+
 def flatten(document: object) -> Dict[str, float]:
-    """``{scenario.metric: value}`` keeping numeric leaves only —
-    strings (queries, workload names) and nested structures describe
-    the scenario, they are not trajectory points."""
+    """``{scenario.metric: value}`` keeping numeric leaves only.
+    One extra nesting level is followed — sub-dicts of numbers such as
+    ``pool_eclat.seconds`` or ``sharded_speedup.speedup`` become
+    ``scenario.metric.label`` rows.  Everything else (strings, bools,
+    deeper nesting, and the ``workload`` descriptor every scenario
+    carries) describes the scenario; it is not a trajectory point."""
     flat: Dict[str, float] = {}
     if not isinstance(document, dict):
         return flat
@@ -51,11 +58,12 @@ def flatten(document: object) -> Dict[str, float]:
         if not isinstance(metrics, dict):
             continue
         for metric, value in metrics.items():
-            if isinstance(value, bool) or not isinstance(
-                value, (int, float)
-            ):
-                continue
-            flat[f"{scenario}.{metric}"] = value
+            if _numeric(value):
+                flat[f"{scenario}.{metric}"] = value
+            elif isinstance(value, dict) and metric != "workload":
+                for label, leaf in value.items():
+                    if _numeric(leaf):
+                        flat[f"{scenario}.{metric}.{label}"] = leaf
     return flat
 
 
