@@ -72,6 +72,7 @@ from repro.obs import (
     render_obs_report,
     write_chrome_trace,
 )
+from repro.sqlengine import STORAGE_KINDS
 from repro.sqlengine.errors import SqlError
 from repro.system import MiningSystem
 
@@ -105,6 +106,10 @@ class Shell:
         workers: int = 1,
         shards: Optional[int] = None,
         shard_start_method: Optional[str] = None,
+        storage: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        packed_min_slots: Optional[int] = None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
@@ -117,6 +122,9 @@ class Shell:
             tracer=self.tracer, metrics=metrics, slowlog=slowlog,
             health=health, workers=workers, shards=shards,
             shard_start_method=shard_start_method,
+            storage=storage, batch_size=batch_size,
+            memory_budget=memory_budget,
+            packed_min_slots=packed_min_slots,
         )
         #: resume MINE RULE statements from crash checkpoints
         self.resume = resume
@@ -320,6 +328,7 @@ class Shell:
                 return "usage: .restore DIRECTORY"
             from repro.sqlengine.dump import load_database
 
+            old_options = self.db.options
             self.system = MiningSystem(
                 database=load_database(argument),
                 algorithm=self.system.algorithm,
@@ -330,6 +339,9 @@ class Shell:
                 workers=self.system.workers,
                 shards=self.system.shards,
                 shard_start_method=self.system.shard_start_method,
+                storage=self.system.storage,
+                batch_size=old_options.batch_size,
+                memory_budget=old_options.memory_budget,
             )
             return f"restored catalog from {argument}"
         if command == ".timing":
@@ -418,6 +430,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: platform default)",
     )
     parser.add_argument(
+        "--storage", default=None, choices=STORAGE_KINDS,
+        help="physical layout of the encoded tables the preprocessor "
+        "creates (default: columnar)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="ROWS",
+        help="rows per batch in the vectorized executor "
+        "(default: engine default)",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="estimated bytes an executor operator may hold before "
+        "spilling to disk (default: unbounded)",
+    )
+    parser.add_argument(
+        "--packed-min-slots", type=int, default=None, metavar="SLOTS",
+        help="smallest bitmap universe carried by the packed word "
+        "kernels (default: repro.algorithms.bitset.PACKED_MIN_SLOTS)",
+    )
+    parser.add_argument(
         "--retries", type=int, default=None, metavar="N",
         help="retry faulted pipeline stages up to N attempts "
         "(capped exponential backoff)",
@@ -469,6 +501,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         json_log=json_log,
         workers=args.workers,
         shard_start_method=args.shard_start_method,
+        storage=args.storage,
+        batch_size=args.batch_size,
+        memory_budget=args.memory_budget,
+        packed_min_slots=args.packed_min_slots,
     )
     try:
         if args.command or args.file:

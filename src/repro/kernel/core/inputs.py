@@ -92,6 +92,33 @@ class CoreInputLoader:
             groups={gid: frozenset(items) for gid, items in groups.items()},
         )
 
+    def load_simple_columns(
+        self,
+    ) -> Optional[Tuple[SimpleInput, Tuple[List[int], List[int]]]]:
+        """The raw ``(Gid, Bid)`` identifier columns of a *columnar*
+        ``CodedSource`` — the streaming shard-input path of the sharded
+        executor: no group dict is materialized in the parent, the
+        columns ride the worker bundle and each worker builds only its
+        own shard's map (:class:`repro.parallel.ColumnarShardSource`).
+        Returns None when the coded source is not a columnar base
+        table; the caller falls back to :meth:`load_simple`.  The
+        returned :class:`SimpleInput` carries the thresholds with an
+        empty ``groups`` dict — the columns replace it.
+        """
+        name = self._directives.coded_source
+        catalog = self._db.catalog
+        if not catalog.has_table(name):
+            return None
+        table = catalog.get_table(name)
+        if getattr(table, "storage", "row") != "columnar":
+            return None
+        lists = table.column_lists()
+        gid_col = lists[table.column_index("Gid")]
+        bid_col = lists[table.column_index("Bid")]
+        totg, min_count = self.thresholds()
+        data = SimpleInput(totg=totg, min_count=min_count, groups={})
+        return data, (gid_col, bid_col)
+
     def load_general(self) -> GeneralInput:
         directives = self._directives
         totg, min_count = self.thresholds()

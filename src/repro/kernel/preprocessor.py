@@ -35,6 +35,7 @@ from repro.kernel.program import (
     TranslationQuery,
 )
 from repro.kernel.trace import ProcessFlow
+from repro.sqlengine.columnar import validate_storage
 from repro.sqlengine.engine import Database
 
 
@@ -69,10 +70,19 @@ class PreprocessStats:
 
 
 class Preprocessor:
-    """Runs the setup and preprocessing programs on the SQL server."""
+    """Runs the setup and preprocessing programs on the SQL server.
 
-    def __init__(self, database: Database):
+    ``storage`` picks the physical layout of the encoded tables the
+    translation program creates (default ``"columnar"``: the
+    string-heavy encoded tables are exactly the dictionary-encoding
+    shape, and the vectorized executor runs Q0..Q11 batch-at-a-time
+    over them).  ``"row"`` restores the tuple heap layout — the two
+    are bit-identical on every golden dump.
+    """
+
+    def __init__(self, database: Database, storage: str = "columnar"):
         self._db = database
+        self._storage = validate_storage(storage)
 
     def run(
         self,
@@ -92,6 +102,14 @@ class Preprocessor:
         stats = PreprocessStats()
         policy = policy if policy is not None else RetryPolicy.single()
         before = self._db.cache_stats.snapshot()
+
+        # Register the workspace tables' storage layout before any
+        # CREATE/CTAS runs them into existence; setdefault keeps an
+        # explicit per-table hint (tests, ablations) authoritative.
+        if self._storage != "row":
+            hints = self._db.storage_hints
+            for table in program.workspace.all_tables():
+                hints.setdefault(table.lower(), self._storage)
 
         completed = checkpoint.completed_queries if checkpoint else set()
         if checkpoint is not None and checkpoint.host_variables:

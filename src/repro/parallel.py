@@ -163,6 +163,59 @@ class ShardPlan:
         return f"{self.shards} shards: {spans}"
 
 
+class ColumnarShardSource:
+    """Lazy per-shard group maps over the raw ``(Gid, Bid)`` identifier
+    columns of a columnar ``CodedSource`` table.
+
+    The streaming alternative to ``ShardPlan.assign``: instead of
+    materializing every shard's ``{gid: frozenset(items)}`` dict in the
+    parent (dicts of frozensets pickle expensively, and under spawn the
+    whole bundle travels to every worker), the bundle carries the two
+    flat identifier lists straight off the columnar table's vectors
+    plus the shard bounds.  Each worker builds — and memoizes — only
+    the shard maps it is actually handed, in the same sorted-gid order
+    as ``ShardPlan.assign``, so the mining output stays bit-identical
+    to the dict path.  Indexing mimics the per-shard list the phase
+    functions expect (``shards[index]``).
+
+    The general variant keeps the sliced-input path: its per-shard
+    inputs are nested cluster maps that have no flat column shape.
+    """
+
+    __slots__ = ("gids", "bids", "bounds", "_cache")
+
+    def __init__(self, gids, bids, bounds):
+        self.gids = gids
+        self.bids = bids
+        self.bounds = bounds
+        self._cache: Dict[int, Dict[int, FrozenSet[int]]] = {}
+
+    def __getstate__(self):
+        # the memo stays process-local; only the columns travel
+        return (self.gids, self.bids, self.bounds)
+
+    def __setstate__(self, state):
+        self.gids, self.bids, self.bounds = state
+        self._cache = {}
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def __getitem__(self, index: int) -> Dict[int, FrozenSet[int]]:
+        groups = self._cache.get(index)
+        if groups is None:
+            sets: Dict[int, set] = {}
+            span = self.bounds[index]
+            if span is not None:
+                lo, hi = span
+                for gid, bid in zip(self.gids, self.bids):
+                    if lo <= gid <= hi:
+                        sets.setdefault(gid, set()).add(bid)
+            groups = {gid: frozenset(sets[gid]) for gid in sorted(sets)}
+            self._cache[index] = groups
+        return groups
+
+
 def exact_itemset_counts(
     groups: GroupMap,
     candidates: List[Tuple[int, ...]],
@@ -439,21 +492,40 @@ class ShardedMiner:
         data: SimpleInput,
         directives: CoreDirectives,
         algorithm: FrequentItemsetMiner,
+        columns: Optional[Tuple[List[int], List[int]]] = None,
     ) -> Tuple[List[EncodedRule], CoreStats]:
         """Sharded counterpart of ``SimpleCoreOperator.run`` —
-        bit-identical rules, counts merged from per-shard passes."""
+        bit-identical rules, counts merged from per-shard passes.
+
+        *columns* streams the shard inputs: the raw ``(Gid, Bid)``
+        identifier lists of a columnar ``CodedSource``
+        (:meth:`~repro.kernel.core.inputs.CoreInputLoader.load_simple_columns`)
+        ride the bundle as a :class:`ColumnarShardSource` and each
+        worker builds only its own shard's group map; ``data.groups``
+        is then never consulted."""
         representation = validate_representation(
             getattr(algorithm, "representation", "bitset")
         )
         self.shard_seconds = {}
-        groups = data.groups
-        plan = ShardPlan.split(groups, self.shards)
-        total = len(groups)
+        if columns is not None:
+            gid_col, bid_col = columns
+            plan = ShardPlan.split(set(gid_col), self.shards)
+            total = plan.total
+        else:
+            groups = data.groups
+            plan = ShardPlan.split(groups, self.shards)
+            total = len(groups)
 
         stats = BitsetStats()
         counts: ItemsetCounts = {}
         if total:
-            bundle = ("simple", plan.assign(groups), algorithm)
+            if columns is not None:
+                shard_maps = ColumnarShardSource(
+                    gid_col, bid_col, plan.bounds
+                )
+            else:
+                shard_maps = plan.assign(groups)
+            bundle = ("simple", shard_maps, algorithm)
             local_payloads = [
                 (index, local_min_count(data.min_count, total, size))
                 for index, size in enumerate(plan.sizes)

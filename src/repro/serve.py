@@ -39,6 +39,7 @@ from repro.obs.jsonlog import JsonLogger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.spans import Tracer
+from repro.sqlengine import STORAGE_KINDS
 
 
 class MineRuleService:
@@ -63,6 +64,10 @@ class MineRuleService:
         metrics: Optional[MetricsRegistry] = None,
         workers: int = 1,
         shard_start_method: Optional[str] = None,
+        storage: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        packed_min_slots: Optional[int] = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = Tracer(
@@ -81,6 +86,10 @@ class MineRuleService:
             json_log=self.json_log,
             workers=workers,
             shard_start_method=shard_start_method,
+            storage=storage,
+            batch_size=batch_size,
+            memory_budget=memory_budget,
+            packed_min_slots=packed_min_slots,
         )
         if scenario is not None:
             loader = SCENARIOS[scenario]
@@ -182,6 +191,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="multiprocessing start method for the shard pool",
     )
     parser.add_argument(
+        "--storage", default=None, choices=STORAGE_KINDS,
+        help="physical layout of the encoded tables (default: columnar)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="ROWS",
+        help="rows per batch in the vectorized executor",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="operator memory budget before spilling to disk",
+    )
+    parser.add_argument(
+        "--packed-min-slots", type=int, default=None, metavar="SLOTS",
+        help="smallest bitmap universe for the packed word kernels",
+    )
+    parser.add_argument(
         "--fault-schedule", default=None, metavar="SPEC",
         help="install a deterministic fault schedule (chaos drills)",
     )
@@ -213,6 +238,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         retry_policy=retry_policy,
         workers=args.workers,
         shard_start_method=args.shard_start_method,
+        storage=args.storage,
+        batch_size=args.batch_size,
+        memory_budget=args.memory_budget,
+        packed_min_slots=args.packed_min_slots,
     )
     service.start()
     print(

@@ -43,6 +43,8 @@ from repro.sqlengine.planner import SelectPlanner, conjoin
 from repro.sqlengine.result import Result
 from repro.sqlengine.table import Table
 from repro.sqlengine.types import SqlType, coerce as coerce_value
+from repro.sqlengine.vector import build_vector_plan
+from repro.sqlengine import columnar
 
 Row = Tuple[Any, ...]
 
@@ -257,6 +259,8 @@ class _SelectPlan:
         "order_spec",
         "cacheable",
         "catalog_version",
+        "has_columnar_scan",
+        "vector",
     )
 
     select: ast.Select
@@ -272,6 +276,11 @@ class _SelectPlan:
     order_spec: Optional[_OrderSpec]
     cacheable: bool
     catalog_version: int
+    #: at least one scanned base table is columnar (vector-path gate)
+    has_columnar_scan: bool
+    #: lazily built vector mirror: None = not tried yet, False = no
+    #: exact vector lowering exists (row path forever), else VectorPlan
+    vector: Any
 
 
 class Database:
@@ -282,6 +291,11 @@ class Database:
 
         self.catalog = Catalog()
         self.options = options if options is not None else EngineOptions()
+        #: per-table storage overrides (lower-cased name -> "row" or
+        #: "columnar") consulted before ``options.storage`` whenever a
+        #: table is created; the preprocessor registers its encoded
+        #: working tables here
+        self.storage_hints: Dict[str, str] = {}
         #: host variables assigned by ``SELECT .. INTO :name``
         self.variables: Dict[str, Any] = {}
         #: number of statements executed (observability for benches)
@@ -478,10 +492,20 @@ class Database:
         """Bulk-create a table from Python data (loader path)."""
         if replace:
             self.catalog.drop_table(name, if_exists=True)
-        table = Table(name, columns, types)
+        table = self._make_table(name, columns, types)
         table.insert_many(rows)
         self.catalog.create_table(table)
         return table
+
+    def _make_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        types: Optional[Sequence[Optional[SqlType]]] = None,
+    ) -> Table:
+        """Build a table in the storage layout the hints/options pick."""
+        kind = self.storage_hints.get(name.lower(), self.options.storage)
+        return columnar.make_table(kind, name, columns, types)
 
     # ------------------------------------------------------------------
     # statement and plan caches
@@ -553,6 +577,8 @@ class Database:
         plan.leftovers = leftovers
         plan.cacheable = planner.cacheable
         plan.catalog_version = self.catalog.version
+        plan.has_columnar_scan = planner.columnar_scan
+        plan.vector = None
         plan.predicate = None
         plan.having = None
         plan.source = None
@@ -664,6 +690,25 @@ class Database:
                 return self._output_names(select, None, evaluator), []
             columns, row, _ = self._project_row(select, env, evaluator, None)
             return columns, [tuple(row)]
+
+        if (
+            plan.has_columnar_scan
+            and outer_env is None
+            and not limit_one
+            and self.options.vectorize
+        ):
+            vector = plan.vector
+            if vector is None:
+                try:
+                    vector = build_vector_plan(plan, self)
+                except Exception:
+                    # defensive: an unexpected build failure must never
+                    # break a statement the row path can run
+                    vector = False
+                plan.vector = vector
+            if vector is not False:
+                columns, rows = vector.execute(self)
+                return columns, self._apply_limit(select, rows, evaluator)
 
         source = plan.source
         projector = plan.projector
@@ -786,12 +831,12 @@ class Database:
     def _execute_create_table(self, statement: ast.CreateTable) -> Result:
         columns = [c.name for c in statement.columns]
         types = [c.type for c in statement.columns]
-        self.catalog.create_table(Table(statement.name, columns, types))
+        self.catalog.create_table(self._make_table(statement.name, columns, types))
         return Result()
 
     def _execute_ctas(self, statement: ast.CreateTableAsSelect) -> Result:
         columns, rows = self._run_select_raw(statement.select)
-        table = Table(statement.name, columns)
+        table = self._make_table(statement.name, columns)
         table.insert_many(rows)
         self.catalog.create_table(table)
         return Result(rowcount=len(rows))
@@ -824,14 +869,17 @@ class Database:
             # SELECT output schema (the paper's translation programs
             # INSERT into fresh working tables).
             target_columns = list(statement.columns) if statement.columns else columns
-            table = Table(statement.table, target_columns)
+            table = self._make_table(statement.table, target_columns)
             self.catalog.create_table(table)
         else:
             table = self.catalog.get_table(statement.table)
-        count = 0
-        for row in rows:
-            table.insert(self._align_insert(table, statement.columns, list(row)))
-            count += 1
+        if statement.columns:
+            align = self._align_insert
+            count = table.insert_many(
+                align(table, statement.columns, list(row)) for row in rows
+            )
+        else:
+            count = table.insert_many(rows)
         return Result(rowcount=count)
 
     @staticmethod
@@ -958,31 +1006,41 @@ def _count_rows(rows: List[Row]) -> Dict[Row, int]:
     return counts
 
 
+def compare_order_keys(
+    akeys: Tuple[Any, ...],
+    bkeys: Tuple[Any, ...],
+    order_by: Sequence[ast.OrderItem],
+) -> int:
+    """Three-way ORDER BY key comparison (shared with the external
+    merge sort in :mod:`repro.sqlengine.spill`)."""
+    for position, item in enumerate(order_by):
+        left = akeys[position]
+        right = bkeys[position]
+        if left is None and right is None:
+            continue
+        # NULL compares as the largest value: last in ASC, first in
+        # DESC (Oracle's default NULLS LAST / NULLS FIRST).
+        if left is None:
+            return 1 if item.ascending else -1
+        if right is None:
+            return -1 if item.ascending else 1
+        if compare("<", left, right) is True:
+            result = -1
+        elif compare(">", left, right) is True:
+            result = 1
+        else:
+            continue
+        return result if item.ascending else -result
+    return 0
+
+
 def _sort_rows(
     rows: List[Row],
     keys: List[Tuple[Any, ...]],
     order_by: Sequence[ast.OrderItem],
 ) -> List[Row]:
     def cmp(a: Tuple[int, Tuple[Any, ...]], b: Tuple[int, Tuple[Any, ...]]) -> int:
-        for position, item in enumerate(order_by):
-            left = keys[a[0]][position]
-            right = keys[b[0]][position]
-            if left is None and right is None:
-                continue
-            # NULL compares as the largest value: last in ASC, first in
-            # DESC (Oracle's default NULLS LAST / NULLS FIRST).
-            if left is None:
-                return 1 if item.ascending else -1
-            if right is None:
-                return -1 if item.ascending else 1
-            if compare("<", left, right) is True:
-                result = -1
-            elif compare(">", left, right) is True:
-                result = 1
-            else:
-                continue
-            return result if item.ascending else -result
-        return 0
+        return compare_order_keys(keys[a[0]], keys[b[0]], order_by)
 
     indexed = list(enumerate(rows))
     indexed.sort(key=functools.cmp_to_key(cmp))

@@ -254,6 +254,9 @@ class AnalyzeCollector:
         #: first, subquery/derived-table plans follow
         self.plans: List[Any] = []
         self.stats: Dict[int, NodeStats] = {}
+        #: vectorized-execution extras per node: batches processed and
+        #: bytes spilled to disk (out-of-core operators)
+        self.vector: Dict[int, Dict[str, int]] = {}
         self._wrapped: List[Operator] = []
 
     def attach(self, plan: Any) -> None:
@@ -291,6 +294,33 @@ class AnalyzeCollector:
             op.__dict__.pop("envs", None)
         self._wrapped.clear()
 
+    # -- vectorized execution -------------------------------------------
+
+    def record_vector(
+        self, op: Operator, rows: int, batches: int, spill_bytes: int,
+        seconds: float,
+    ) -> None:
+        """One vector node finished: it mirrors row operator *op* and
+        reports into the same EXPLAIN ANALYZE slot (``envs`` is never
+        pulled on the vector path, so the shadow stays silent)."""
+        stats = self.stats.setdefault(id(op), NodeStats())
+        stats.rows += rows
+        stats.loops += 1
+        stats.seconds += seconds
+        info = self.vector.setdefault(
+            id(op), {"batches": 0, "spill_bytes": 0}
+        )
+        info["batches"] += batches
+        info["spill_bytes"] += spill_bytes
+
+    def add_vector_spill(self, op: Operator, nbytes: int) -> None:
+        """Attribute external-sort spill to the plan's source node (the
+        sort has no operator of its own in the physical tree)."""
+        info = self.vector.setdefault(
+            id(op), {"batches": 0, "spill_bytes": 0}
+        )
+        info["spill_bytes"] += nbytes
+
     # -- reporting ------------------------------------------------------
 
     def annotator(self) -> Annotator:
@@ -300,10 +330,20 @@ class AnalyzeCollector:
             stats = self.stats.get(id(op))
             if stats is None:
                 return ""
-            return (
+            text = (
                 f" (actual rows={stats.rows} loops={stats.loops} "
                 f"time={stats.seconds * 1000:.3f} ms)"
             )
+            info = self.vector.get(id(op))
+            if info is not None:
+                batches = info["batches"]
+                per_batch = round(stats.rows / batches) if batches else 0
+                text += (
+                    f" [vectorized batches={batches} "
+                    f"rows/batch={per_batch} "
+                    f"spill={info['spill_bytes']} B]"
+                )
+            return text
 
         return annotate
 
@@ -315,15 +355,19 @@ class AnalyzeCollector:
                 stats = self.stats.get(id(op))
                 if stats is None:
                     continue
-                out.append(
-                    {
-                        "plan": plan_index,
-                        "operator": type(op).__name__,
-                        "rows": stats.rows,
-                        "loops": stats.loops,
-                        "seconds": stats.seconds,
-                    }
-                )
+                entry = {
+                    "plan": plan_index,
+                    "operator": type(op).__name__,
+                    "rows": stats.rows,
+                    "loops": stats.loops,
+                    "seconds": stats.seconds,
+                }
+                info = self.vector.get(id(op))
+                if info is not None:
+                    entry["vectorized"] = True
+                    entry["batches"] = info["batches"]
+                    entry["spill_bytes"] = info["spill_bytes"]
+                out.append(entry)
         return out
 
 

@@ -10,6 +10,7 @@ over tree-walk interpretation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -30,3 +31,17 @@ class EngineOptions:
     statement_cache_size: int = 256
     #: LRU capacity of the plan cache
     plan_cache_size: int = 256
+    #: physical layout for newly created tables: "row" (tuple list) or
+    #: "columnar" (typed column vectors, see sqlengine/columnar.py);
+    #: per-table overrides via Database.storage_hints
+    storage: str = "row"
+    #: rows per batch in the vectorized executor
+    batch_size: int = 1024
+    #: soft cap in bytes on executor working memory; when a sort/hash
+    #: join/aggregate estimates its input above the budget it switches
+    #: to the spilling out-of-core variant (None = never spill)
+    memory_budget: Optional[int] = None
+    #: run batch-at-a-time over column vectors when every plan node
+    #: supports it and at least one scanned table is columnar (plans
+    #: over row tables always use the row executor)
+    vectorize: bool = True

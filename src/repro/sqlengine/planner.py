@@ -96,6 +96,9 @@ class SelectPlanner:
         #: derived tables materialize into a RowsSource), making it
         #: unsafe to reuse across executions
         self.cacheable = True
+        #: True once the plan scans at least one columnar base table —
+        #: the engine offers such plans to the vectorized executor
+        self.columnar_scan = False
 
     # -- source planning -----------------------------------------------------
 
@@ -199,7 +202,10 @@ class SelectPlanner:
     def _plan_table(self, source: ast.TableName) -> Operator:
         catalog = self._db.catalog
         if catalog.has_table(source.name):
-            return TableScan(catalog.get_table(source.name), source.binding)
+            table = catalog.get_table(source.name)
+            if getattr(table, "storage", "row") == "columnar":
+                self.columnar_scan = True
+            return TableScan(table, source.binding)
         if catalog.has_view(source.name):
             view = catalog.get_view(source.name)
             columns, rows = self._db._run_select_raw(view.select)

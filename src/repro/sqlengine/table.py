@@ -58,6 +58,11 @@ class Table:
     Secondary hash indexes (:class:`TableIndex`) are maintained on
     every mutation; the planner uses them for equality lookups."""
 
+    #: physical layout discriminator; ColumnarTable overrides this —
+    #: the planner/vectorizer branch on it instead of isinstance so
+    #: duck-typed test doubles keep working
+    storage = "row"
+
     def __init__(
         self,
         name: str,

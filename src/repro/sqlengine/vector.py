@@ -1,0 +1,1594 @@
+"""Batch-at-a-time (vectorized) SELECT execution over column vectors.
+
+The row executor interprets one :class:`~repro.sqlengine.evaluator.Env`
+at a time; every row pays Python call overhead per operator and per
+expression node.  This module mirrors a planned SELECT onto *vector*
+nodes that process whole columns: a filter evaluates its predicate over
+a column batch and gathers the surviving positions, a hash join builds
+and probes on key *lists*, an aggregate reduces argument columns per
+group.  The unit of work is a :class:`_Batch` — a list of parallel
+Python lists, one per flat column of the operator's frame.
+
+Exactness contract
+------------------
+
+The vector path must be **bit-identical** to the row path on every
+statement it accepts.  That is achieved three ways:
+
+* *Typed kernels only where types are proven.*  Columnar tables coerce
+  every stored value to the column's declared SQL type
+  (:func:`repro.sqlengine.types.coerce`), so a declared ``INTEGER``
+  column holds only ``int``/``None`` — comparisons can use raw Python
+  operators.  Row tables, derived tables and untyped columns get the
+  ``'any'`` dtype whose kernels call the row path's own helpers
+  (:func:`~repro.sqlengine.evaluator.compare`, ``_arith``) element-wise.
+* *Lazy masking for short-circuit forms.*  ``AND``/``OR``/``COALESCE``
+  evaluate their right/later operands only on the rows the earlier
+  operands did not decide, so side conditions (errors in untaken
+  operands) match the row path's per-row short circuit.
+* *Whole-plan fallback.*  Any construct whose vector semantics are not
+  provably identical (subqueries, CASE, dynamic LIKE patterns,
+  correlated references, nested-loop joins, multiple NEXTVAL items …)
+  raises :class:`Unsupported` at build time and the engine runs the
+  row path for the whole statement.  ``plan.vector`` caches the
+  outcome: a ``VectorPlan``, or ``False`` for "row path forever".
+
+The only tolerated divergence is *which* row's error surfaces first
+when a statement raises: kernels evaluate an operand for every row
+before moving on, so two independently erroneous expressions may
+report in a different order than tuple-at-a-time evaluation.  Both
+paths still raise, with the same exception types.
+
+Out-of-core execution: when ``EngineOptions.memory_budget`` is set and
+a sort/hash join/aggregate estimates its input above the budget, the
+node switches to the spilling variant in :mod:`repro.sqlengine.spill`
+(external merge sort, grace-style partitioned join/aggregate); spilled
+byte counts surface in EXPLAIN ANALYZE next to per-node batch counts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine import spill as spill_mod
+from repro.sqlengine.errors import (
+    CatalogError,
+    ExecutionError,
+    SqlError,
+    SqlTypeError,
+)
+from repro.sqlengine.evaluator import (
+    SCALAR_FUNCTIONS,
+    Frame,
+    _arith,
+    _distinct_values,
+    _escape_char,
+    _like_to_regex,
+    _to_str,
+    compare,
+    tvl_and,
+    tvl_not,
+    tvl_or,
+)
+from repro.sqlengine.evaluator import Evaluator as _Evaluator
+from repro.sqlengine.operators import (
+    Filter,
+    GroupAggregate,
+    HashJoin,
+    IndexLookup,
+    LeftOuterHashJoin,
+    Operator,
+    RowsSource,
+    TableScan,
+)
+from repro.sqlengine.parser import AGGREGATE_NAMES
+from repro.sqlengine.types import SqlType
+
+_truth = _Evaluator._as_truth
+
+
+class Unsupported(Exception):
+    """Raised at build time when a plan node or expression has no
+    exact vector lowering; the engine falls back to the row path."""
+
+
+# ---------------------------------------------------------------------------
+# batches, scalars, expression values
+# ---------------------------------------------------------------------------
+
+
+class _Batch:
+    """A horizontal slice of an operator's output: parallel column
+    lists (one per flat frame column) plus the row count."""
+
+    __slots__ = ("cols", "n")
+
+    def __init__(self, cols: List[List[Any]], n: int):
+        self.cols = cols
+        self.n = n
+
+
+class _Scalar:
+    """Marks an expression result that is one value broadcast over the
+    batch (literals, host variables, arithmetic over them)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def _as_list(value: Any, n: int) -> List[Any]:
+    if isinstance(value, _Scalar):
+        return [value.value] * n
+    return value
+
+
+def _gather(col: List[Any], idxs: List[int]) -> List[Any]:
+    return [col[i] for i in idxs]
+
+
+def _gather_pad(col: List[Any], idxs: List[int]) -> List[Any]:
+    """Gather allowing ``-1`` = NULL (outer-join padding)."""
+    return [None if i < 0 else col[i] for i in idxs]
+
+
+class VExpr:
+    """A compiled vector expression: ``fn(ctx, cols, n)`` returns a
+    full-length value list or a :class:`_Scalar`; ``used`` names the
+    flat column indices the kernel reads (for masked evaluation)."""
+
+    __slots__ = ("fn", "dtype", "used")
+
+    def __init__(self, fn: Callable, dtype: str, used: frozenset):
+        self.fn = fn
+        self.dtype = dtype
+        self.used = used
+
+
+class _Ctx:
+    """Per-execution state threaded through every vector node."""
+
+    __slots__ = ("db", "params", "collector", "batch_size", "budget")
+
+    def __init__(self, db: Any):
+        self.db = db
+        self.params = db._params
+        self.collector = db._analyze
+        options = db.options
+        self.batch_size = max(1, options.batch_size)
+        self.budget = options.memory_budget
+
+
+# ---------------------------------------------------------------------------
+# dtypes
+# ---------------------------------------------------------------------------
+
+#: declared SQL type -> proven runtime Python type of non-NULL values
+_SQL_DTYPE = {
+    SqlType.INTEGER: "int",
+    SqlType.REAL: "float",
+    SqlType.VARCHAR: "str",
+    SqlType.DATE: "date",
+    SqlType.BOOLEAN: "bool",
+}
+
+_NUMERIC = ("int", "float", "bool")
+
+
+def _table_dtypes(table: Any) -> List[str]:
+    """Column dtypes a kernel may trust.  Only columnar tables coerce
+    on every write path, so only they earn typed kernels; plain tables
+    (and ``load_database``'s raw appends) stay ``'any'``."""
+    if getattr(table, "storage", "row") != "columnar":
+        return ["any"] * len(table.columns)
+    return [
+        _SQL_DTYPE.get(t, "any") if t is not None else "any"
+        for t in table.types
+    ]
+
+
+def _dtype_of_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, datetime.date):
+        return "date"
+    return "any"
+
+
+def _clean_scalar(dtype: str, value: Any) -> bool:
+    """May a raw-operator kernel compare a *dtype* column against this
+    scalar with semantics identical to :func:`compare`?"""
+    if dtype in _NUMERIC:
+        return isinstance(value, (int, float))
+    if dtype == "str":
+        return isinstance(value, str)
+    if dtype == "date":
+        return isinstance(value, datetime.date)
+    return False
+
+
+def _clean_pair(ldt: str, rdt: str) -> bool:
+    if ldt in _NUMERIC and rdt in _NUMERIC:
+        return True
+    return ldt == rdt and ldt in ("str", "date")
+
+
+def _frame_offsets(frame: Frame) -> List[int]:
+    offsets = []
+    total = 0
+    for _, columns in frame.sources:
+        offsets.append(total)
+        total += len(columns)
+    return offsets
+
+
+def _frame_width(frame: Frame) -> int:
+    return sum(len(columns) for _, columns in frame.sources)
+
+
+# ---------------------------------------------------------------------------
+# comparison / arithmetic kernels
+# ---------------------------------------------------------------------------
+
+import operator as _op  # noqa: E402  (kernel table below)
+
+_CMP_PY = {
+    "=": _op.eq,
+    "<>": _op.ne,
+    "<": _op.lt,
+    "<=": _op.le,
+    ">": _op.gt,
+    ">=": _op.ge,
+}
+
+_ARITH_PY = {"+": _op.add, "-": _op.sub, "*": _op.mul}
+
+
+def _cmp_values(op: str, lv: Any, rv: Any, ldt: str, rdt: str) -> Any:
+    """Apply one SQL comparison over batch values (lists or scalars)."""
+    opfn = _CMP_PY[op]
+    if isinstance(lv, _Scalar) and isinstance(rv, _Scalar):
+        return _Scalar(compare(op, lv.value, rv.value))
+    if isinstance(rv, _Scalar):
+        s = rv.value
+        if s is None:
+            return _Scalar(None)
+        if _clean_scalar(ldt, s):
+            return [None if v is None else opfn(v, s) for v in lv]
+        return [compare(op, v, s) for v in lv]
+    if isinstance(lv, _Scalar):
+        s = lv.value
+        if s is None:
+            return _Scalar(None)
+        if _clean_scalar(rdt, s):
+            return [None if v is None else opfn(s, v) for v in rv]
+        return [compare(op, s, v) for v in rv]
+    if _clean_pair(ldt, rdt):
+        return [
+            None if a is None or b is None else opfn(a, b)
+            for a, b in zip(lv, rv)
+        ]
+    return [compare(op, a, b) for a, b in zip(lv, rv)]
+
+
+def _numeric_scalar(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _arith_values(op: str, lv: Any, rv: Any, ldt: str, rdt: str) -> Any:
+    """Apply ``+ - * / %`` over batch values with the row path's NULL
+    guard and :func:`_arith` error semantics."""
+    if isinstance(lv, _Scalar) and isinstance(rv, _Scalar):
+        a, b = lv.value, rv.value
+        if a is None or b is None:
+            return _Scalar(None)
+        return _Scalar(_arith(op, a, b))
+    fast = _ARITH_PY.get(op)
+    if isinstance(rv, _Scalar):
+        s = rv.value
+        if s is None:
+            return _Scalar(None)
+        if fast is not None and ldt in ("int", "float") and _numeric_scalar(s):
+            return [None if v is None else fast(v, s) for v in lv]
+        return [None if v is None else _arith(op, v, s) for v in lv]
+    if isinstance(lv, _Scalar):
+        s = lv.value
+        if s is None:
+            return _Scalar(None)
+        if fast is not None and rdt in ("int", "float") and _numeric_scalar(s):
+            return [None if v is None else fast(s, v) for v in rv]
+        return [None if v is None else _arith(op, s, v) for v in rv]
+    if fast is not None and ldt in ("int", "float") and rdt in ("int", "float"):
+        return [
+            None if a is None or b is None else fast(a, b)
+            for a, b in zip(lv, rv)
+        ]
+    return [
+        None if a is None or b is None else _arith(op, a, b)
+        for a, b in zip(lv, rv)
+    ]
+
+
+def _arith_dtype(op: str, ldt: str, rdt: str) -> str:
+    if ldt in ("int", "float") and rdt in ("int", "float"):
+        if op == "/":
+            return "float"
+        if op == "%":
+            return "float" if "float" in (ldt, rdt) else "int"
+        return "int" if ldt == rdt == "int" else "float"
+    return "any"
+
+
+def _mask_gather(
+    cols: List[List[Any]], used: frozenset, idxs: List[int]
+) -> List[Optional[List[Any]]]:
+    """Columns restricted to *idxs*, materialized only for the flat
+    indices in *used* (lazy AND/OR/COALESCE operand evaluation)."""
+    sub: List[Optional[List[Any]]] = [None] * len(cols)
+    for u in used:
+        col = cols[u]
+        sub[u] = [col[i] for i in idxs]
+    return sub
+
+
+# ---------------------------------------------------------------------------
+# expression compiler
+# ---------------------------------------------------------------------------
+
+#: scalar functions with a provable result type (everything else 'any')
+_FN_DTYPE = {
+    "UPPER": "str",
+    "LOWER": "str",
+    "TRIM": "str",
+    "SUBSTR": "str",
+    "SUBSTRING": "str",
+    "LENGTH": "int",
+    "YEAR": "int",
+    "MONTH": "int",
+    "DAY": "int",
+    "WEEKDAY": "int",
+    "FLOOR": "int",
+    "CEIL": "int",
+    "CEILING": "int",
+    "SIGN": "int",
+    "SQRT": "float",
+}
+
+_CAST_DTYPE = {
+    SqlType.VARCHAR: "str",
+    SqlType.INTEGER: "int",
+    SqlType.REAL: "float",
+    SqlType.DATE: "date",
+    SqlType.BOOLEAN: "bool",
+}
+
+
+class _AggSlot:
+    """One aggregate occurrence: its reduction, DISTINCT flag and the
+    argument expression compiled over the *child* (pre-group) layout."""
+
+    __slots__ = ("name", "star", "distinct", "arg", "dtype")
+
+    def __init__(self, name, star, distinct, arg, dtype):
+        self.name = name
+        self.star = star
+        self.distinct = distinct
+        self.arg = arg
+        self.dtype = dtype
+
+
+class _GroupContext:
+    """Allocates aggregate slots appended after the representative
+    columns in a :class:`VAggregate` output batch."""
+
+    def __init__(self, base_width: int):
+        self.base_width = base_width
+        self.slots: List[_AggSlot] = []
+
+    def add(self, slot: _AggSlot) -> int:
+        self.slots.append(slot)
+        return self.base_width + len(self.slots) - 1
+
+
+def _agg_dtype(name: str, star: bool, arg_dtype: str) -> str:
+    if name == "COUNT":
+        return "int"
+    if name in ("MIN", "MAX"):
+        return arg_dtype
+    if name == "SUM":
+        return arg_dtype if arg_dtype in ("int", "float") else "any"
+    if name == "AVG":
+        return "float" if arg_dtype in ("int", "float") else "any"
+    return "any"
+
+
+class _Compiler:
+    """Lowers AST expressions to :class:`VExpr` kernels over one flat
+    column layout, raising :class:`Unsupported` for anything whose
+    vector semantics would not be exact."""
+
+    def __init__(
+        self,
+        frame: Frame,
+        dtypes: Sequence[str],
+        db: Any,
+        groups: Optional[_GroupContext] = None,
+        sibling: Optional["_Compiler"] = None,
+    ):
+        self._frame = frame
+        self._dtypes = list(dtypes)
+        self._db = db
+        self._offsets = _frame_offsets(frame)
+        #: group context when compiling HAVING / post-group projections
+        self._groups = groups
+        #: the pre-group compiler aggregate arguments compile through
+        self._sibling = sibling
+
+    def compile(self, expr: ast.Expression) -> VExpr:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise Unsupported(f"no vector lowering for {type(expr).__name__}")
+        return method(self, expr)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _literal(self, expr: ast.Literal) -> VExpr:
+        value = expr.value
+        scalar = _Scalar(value)
+        return VExpr(
+            lambda ctx, cols, n: scalar,
+            _dtype_of_literal(value),
+            frozenset(),
+        )
+
+    def _hostvar(self, expr: ast.HostVar) -> VExpr:
+        name = expr.name
+
+        def fn(ctx, cols, n):
+            try:
+                return _Scalar(ctx.params[name])
+            except KeyError:
+                raise ExecutionError(
+                    f"unbound host variable :{name}"
+                ) from None
+
+        return VExpr(fn, "any", frozenset())
+
+    def _column(self, expr: ast.ColumnRef) -> VExpr:
+        try:
+            hit = self._frame.lookup(expr.qualifier, expr.name)
+        except CatalogError:
+            # Ambiguous name: the row path raises only for rows that
+            # actually evaluate it; stay on the row path wholesale.
+            raise Unsupported(f"ambiguous column {expr.name!r}") from None
+        if hit is None:
+            raise Unsupported(f"outer-scope column {expr.name!r}")
+        src_idx, col_idx = hit
+        flat = self._offsets[src_idx] + col_idx
+        return VExpr(
+            lambda ctx, cols, n: cols[flat],
+            self._dtypes[flat] if flat < len(self._dtypes) else "any",
+            frozenset((flat,)),
+        )
+
+    # -- operators --------------------------------------------------------
+
+    def _binary(self, expr: ast.BinaryOp) -> VExpr:
+        op = expr.op
+        if op in ("AND", "OR"):
+            return self._logical(op, expr.left, expr.right)
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        used = left.used | right.used
+        if op in _CMP_PY:
+            ldt, rdt = left.dtype, right.dtype
+
+            def fn_cmp(ctx, cols, n):
+                return _cmp_values(
+                    op, left.fn(ctx, cols, n), right.fn(ctx, cols, n),
+                    ldt, rdt,
+                )
+
+            return VExpr(fn_cmp, "bool", used)
+        if op == "||":
+
+            def fn_concat(ctx, cols, n):
+                lv = left.fn(ctx, cols, n)
+                rv = right.fn(ctx, cols, n)
+                if isinstance(lv, _Scalar) and isinstance(rv, _Scalar):
+                    a, b = lv.value, rv.value
+                    if a is None or b is None:
+                        return _Scalar(None)
+                    return _Scalar(_to_str(a) + _to_str(b))
+                la = _as_list(lv, n)
+                lb = _as_list(rv, n)
+                return [
+                    None if a is None or b is None
+                    else _to_str(a) + _to_str(b)
+                    for a, b in zip(la, lb)
+                ]
+
+            return VExpr(fn_concat, "str", used)
+        if op in ("+", "-", "*", "/", "%"):
+            ldt, rdt = left.dtype, right.dtype
+
+            def fn_arith(ctx, cols, n):
+                return _arith_values(
+                    op, left.fn(ctx, cols, n), right.fn(ctx, cols, n),
+                    ldt, rdt,
+                )
+
+            return VExpr(fn_arith, _arith_dtype(op, ldt, rdt), used)
+        raise Unsupported(f"binary operator {op!r}")
+
+    def _logical(self, op: str, left_e, right_e) -> VExpr:
+        """AND/OR with the row path's short circuit reproduced at row
+        granularity: the right operand runs only on undecided rows."""
+        left = self.compile(left_e)
+        right = self.compile(right_e)
+        used = left.used | right.used
+        is_and = op == "AND"
+        combine = tvl_and if is_and else tvl_or
+        decided = False if is_and else True
+
+        def fn(ctx, cols, n):
+            lt = [_truth(v) for v in _as_list(left.fn(ctx, cols, n), n)]
+            idxs = [i for i, v in enumerate(lt) if v is not decided]
+            out: List[Any] = [decided] * n
+            if idxs:
+                sub = _mask_gather(cols, right.used, idxs)
+                rv = _as_list(right.fn(ctx, sub, len(idxs)), len(idxs))
+                for k, i in enumerate(idxs):
+                    out[i] = combine(lt[i], _truth(rv[k]))
+            return out
+
+        return VExpr(fn, "bool", used)
+
+    def _unary(self, expr: ast.UnaryOp) -> VExpr:
+        operand = self.compile(expr.operand)
+        if expr.op == "NOT":
+
+            def fn_not(ctx, cols, n):
+                value = operand.fn(ctx, cols, n)
+                if isinstance(value, _Scalar):
+                    return _Scalar(tvl_not(_truth(value.value)))
+                return [tvl_not(_truth(v)) for v in value]
+
+            return VExpr(fn_not, "bool", operand.used)
+        if expr.op == "-":
+
+            def neg_one(v):
+                if v is None:
+                    return None
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    raise SqlTypeError(f"cannot negate {v!r}")
+                return -v
+
+            def fn_neg(ctx, cols, n):
+                value = operand.fn(ctx, cols, n)
+                if isinstance(value, _Scalar):
+                    return _Scalar(neg_one(value.value))
+                return [neg_one(v) for v in value]
+
+            dtype = (
+                operand.dtype if operand.dtype in ("int", "float") else "any"
+            )
+            return VExpr(fn_neg, dtype, operand.used)
+        raise Unsupported(f"unary operator {expr.op!r}")
+
+    # -- predicates -------------------------------------------------------
+
+    def _between(self, expr: ast.Between) -> VExpr:
+        value = self.compile(expr.expr)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        used = value.used | low.used | high.used
+        negated = expr.negated
+        vdt = value.dtype
+
+        def fn(ctx, cols, n):
+            vv = value.fn(ctx, cols, n)
+            lv = low.fn(ctx, cols, n)
+            hv = high.fn(ctx, cols, n)
+            if (
+                not isinstance(vv, _Scalar)
+                and isinstance(lv, _Scalar)
+                and isinstance(hv, _Scalar)
+                and lv.value is not None
+                and hv.value is not None
+                and _clean_scalar(vdt, lv.value)
+                and _clean_scalar(vdt, hv.value)
+            ):
+                lo, hi = lv.value, hv.value
+                if negated:
+                    return [
+                        None if v is None else not (lo <= v <= hi) for v in vv
+                    ]
+                return [None if v is None else lo <= v <= hi for v in vv]
+            va = _as_list(vv, n)
+            la = _as_list(lv, n)
+            ha = _as_list(hv, n)
+            out = []
+            for v, lo, hi in zip(va, la, ha):
+                result = tvl_and(
+                    compare(">=", v, lo), compare("<=", v, hi)
+                )
+                out.append(tvl_not(result) if negated else result)
+            return out
+
+        return VExpr(fn, "bool", used)
+
+    def _in_list(self, expr: ast.InList) -> VExpr:
+        value = self.compile(expr.expr)
+        if not all(isinstance(item, ast.Literal) for item in expr.items):
+            # non-constant items are evaluated lazily per row with an
+            # early break by the row path; keep that exact
+            raise Unsupported("IN list with non-literal items")
+        items = [item.value for item in expr.items]
+        negated = expr.negated
+        vdt = value.dtype
+        fast_set = (
+            frozenset(items)
+            if items and all(_clean_scalar(vdt, item) for item in items)
+            else None
+        )
+
+        def one(v):
+            found = False
+            saw_null = False
+            for item in items:
+                result = compare("=", v, item)
+                if result is True:
+                    found = True
+                    break
+                if result is None:
+                    saw_null = True
+            result3 = True if found else (None if saw_null else False)
+            return tvl_not(result3) if negated else result3
+
+        def fn(ctx, cols, n):
+            vv = value.fn(ctx, cols, n)
+            if isinstance(vv, _Scalar):
+                return _Scalar(one(vv.value))
+            if fast_set is not None:
+                if negated:
+                    return [
+                        None if v is None else v not in fast_set for v in vv
+                    ]
+                return [None if v is None else v in fast_set for v in vv]
+            return [one(v) for v in vv]
+
+        return VExpr(fn, "bool", value.used)
+
+    def _like(self, expr: ast.Like) -> VExpr:
+        value = self.compile(expr.expr)
+        escape_e = expr.escape
+        if escape_e is not None and not isinstance(escape_e, ast.Literal):
+            raise Unsupported("LIKE with non-constant ESCAPE")
+        if not isinstance(expr.pattern, ast.Literal):
+            raise Unsupported("LIKE with non-constant pattern")
+        negated = expr.negated
+        if escape_e is not None and escape_e.value is None:
+            # LIKE ... ESCAPE NULL is NULL for every row
+            return VExpr(
+                lambda ctx, cols, n: _Scalar(None), "bool", value.used
+            )
+        pattern = expr.pattern.value
+        if pattern is None:
+            return VExpr(
+                lambda ctx, cols, n: _Scalar(None), "bool", value.used
+            )
+        if not isinstance(pattern, str):
+            # the row path raises per evaluated non-NULL row
+            def fn_bad(ctx, cols, n):
+                vv = _as_list(value.fn(ctx, cols, n), n)
+                out = []
+                for v in vv:
+                    if v is None:
+                        out.append(None)
+                    else:
+                        raise SqlTypeError("LIKE requires string operands")
+                return out
+
+            return VExpr(fn_bad, "bool", value.used)
+        try:
+            escape = (
+                _escape_char(escape_e.value) if escape_e is not None else None
+            )
+            regex = _like_to_regex(pattern, escape)
+        except SqlError:
+            # With expression compilation off the row path raises this
+            # per row (and not at all on empty input): fall back.
+            raise Unsupported("invalid LIKE pattern/escape") from None
+        is_str = value.dtype == "str"
+        match = regex.match
+
+        def fn(ctx, cols, n):
+            vv = value.fn(ctx, cols, n)
+            scalar = isinstance(vv, _Scalar)
+            col = [vv.value] if scalar else vv
+            if is_str:
+                if negated:
+                    out = [
+                        None if v is None else not match(v) for v in col
+                    ]
+                else:
+                    out = [
+                        None if v is None else bool(match(v)) for v in col
+                    ]
+            else:
+                out = []
+                for v in col:
+                    if v is None:
+                        out.append(None)
+                        continue
+                    if not isinstance(v, str):
+                        raise SqlTypeError("LIKE requires string operands")
+                    result = bool(match(v))
+                    out.append(not result if negated else result)
+            return _Scalar(out[0]) if scalar else out
+
+        return VExpr(fn, "bool", value.used)
+
+    def _is_null(self, expr: ast.IsNull) -> VExpr:
+        value = self.compile(expr.expr)
+        negated = expr.negated
+
+        def fn(ctx, cols, n):
+            vv = value.fn(ctx, cols, n)
+            if isinstance(vv, _Scalar):
+                result = vv.value is None
+                return _Scalar(not result if negated else result)
+            if negated:
+                return [v is not None for v in vv]
+            return [v is None for v in vv]
+
+        return VExpr(fn, "bool", value.used)
+
+    # -- functions --------------------------------------------------------
+
+    def _function(self, expr: ast.FunctionCall) -> VExpr:
+        if expr.name in AGGREGATE_NAMES or expr.star:
+            return self._aggregate(expr)
+        if expr.name == "COALESCE":
+            return self._coalesce(expr)
+        if expr.name == "NULLIF":
+            if len(expr.args) != 2:
+                raise Unsupported("NULLIF arity")
+            first = self.compile(expr.args[0])
+            second = self.compile(expr.args[1])
+
+            def fn_nullif(ctx, cols, n):
+                fv = first.fn(ctx, cols, n)
+                sv = second.fn(ctx, cols, n)
+                if isinstance(fv, _Scalar) and isinstance(sv, _Scalar):
+                    a, b = fv.value, sv.value
+                    return _Scalar(
+                        None if compare("=", a, b) is True else a
+                    )
+                fa = _as_list(fv, n)
+                sa = _as_list(sv, n)
+                return [
+                    None if compare("=", a, b) is True else a
+                    for a, b in zip(fa, sa)
+                ]
+
+            return VExpr(fn_nullif, first.dtype, first.used | second.used)
+        impl = SCALAR_FUNCTIONS.get(expr.name)
+        if impl is None:
+            raise Unsupported(f"unknown function {expr.name!r}")
+        args = [self.compile(arg) for arg in expr.args]
+        used = frozenset().union(*(a.used for a in args)) if args else frozenset()
+        dtype = _FN_DTYPE.get(expr.name, "any")
+
+        def fn(ctx, cols, n):
+            vals = [a.fn(ctx, cols, n) for a in args]
+            if all(isinstance(v, _Scalar) for v in vals):
+                return _Scalar(impl([v.value for v in vals]))
+            lists = [_as_list(v, n) for v in vals]
+            return [impl(list(row)) for row in zip(*lists)] if lists else [
+                impl([]) for _ in range(n)
+            ]
+
+        return VExpr(fn, dtype, used)
+
+    def _coalesce(self, expr: ast.FunctionCall) -> VExpr:
+        args = [self.compile(arg) for arg in expr.args]
+        used = frozenset().union(*(a.used for a in args)) if args else frozenset()
+
+        def fn(ctx, cols, n):
+            # lazy like the row path: argument k runs only on rows the
+            # first k-1 arguments left NULL
+            out: List[Any] = [None] * n
+            pending = list(range(n))
+            for arg in args:
+                if not pending:
+                    break
+                sub = _mask_gather(cols, arg.used, pending)
+                vals = _as_list(arg.fn(ctx, sub, len(pending)), len(pending))
+                still: List[int] = []
+                for k, i in enumerate(pending):
+                    v = vals[k]
+                    if v is None:
+                        still.append(i)
+                    else:
+                        out[i] = v
+                pending = still
+            return out
+
+        return VExpr(fn, "any", used)
+
+    def _aggregate(self, expr: ast.FunctionCall) -> VExpr:
+        gctx = self._groups
+        if gctx is None:
+            raise Unsupported("aggregate outside group context")
+        if expr.star:
+            if expr.name != "COUNT":
+                raise Unsupported(f"{expr.name}(*)")
+            slot = _AggSlot("COUNT", True, False, None, "int")
+        else:
+            if len(expr.args) != 1:
+                raise Unsupported(f"{expr.name} arity")
+            if expr.name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+                raise Unsupported(f"aggregate {expr.name!r}")
+            arg = self._sibling.compile(expr.args[0])
+            slot = _AggSlot(
+                expr.name,
+                False,
+                expr.distinct,
+                arg,
+                _agg_dtype(expr.name, False, arg.dtype),
+            )
+        flat = gctx.add(slot)
+        return VExpr(
+            lambda ctx, cols, n, _f=flat: cols[_f],
+            slot.dtype,
+            frozenset((flat,)),
+        )
+
+    # -- misc -------------------------------------------------------------
+
+    def _cast(self, expr: ast.Cast) -> VExpr:
+        value = self.compile(expr.expr)
+        target = expr.target
+        if target is SqlType.VARCHAR:
+            convert: Callable[[Any], Any] = _to_str
+        elif target is SqlType.INTEGER:
+            convert = int
+        elif target is SqlType.REAL:
+            convert = float
+        else:
+            from repro.sqlengine.types import coerce
+
+            convert = lambda v, _t=target: coerce(v, _t)  # noqa: E731
+
+        def fn(ctx, cols, n):
+            vv = value.fn(ctx, cols, n)
+            if isinstance(vv, _Scalar):
+                v = vv.value
+                return _Scalar(None if v is None else convert(v))
+            return [None if v is None else convert(v) for v in vv]
+
+        return VExpr(fn, _CAST_DTYPE.get(target, "any"), value.used)
+
+    def _tuple(self, expr: ast.TupleExpr) -> VExpr:
+        items = [self.compile(item) for item in expr.items]
+        used = (
+            frozenset().union(*(i.used for i in items))
+            if items
+            else frozenset()
+        )
+
+        def fn(ctx, cols, n):
+            vals = [i.fn(ctx, cols, n) for i in items]
+            if all(isinstance(v, _Scalar) for v in vals):
+                return _Scalar(tuple(v.value for v in vals))
+            lists = [_as_list(v, n) for v in vals]
+            return [tuple(row) for row in zip(*lists)]
+
+        return VExpr(fn, "any", used)
+
+    def _unsupported(self, expr) -> VExpr:
+        raise Unsupported(f"no vector lowering for {type(expr).__name__}")
+
+    _DISPATCH: Dict[type, Callable[..., VExpr]] = {}
+
+
+_Compiler._DISPATCH = {
+    ast.Literal: _Compiler._literal,
+    ast.HostVar: _Compiler._hostvar,
+    ast.ColumnRef: _Compiler._column,
+    ast.BinaryOp: _Compiler._binary,
+    ast.UnaryOp: _Compiler._unary,
+    ast.FunctionCall: _Compiler._function,
+    ast.Between: _Compiler._between,
+    ast.InList: _Compiler._in_list,
+    ast.Like: _Compiler._like,
+    ast.IsNull: _Compiler._is_null,
+    ast.Cast: _Compiler._cast,
+    ast.TupleExpr: _Compiler._tuple,
+    # SequenceNextval: only as a bare select item (see build); inside
+    # expressions the per-row allocation order is not reproducible
+    # column-wise.  Subqueries, CASE and Star stay on the row path.
+    ast.SequenceNextval: _Compiler._unsupported,
+    ast.InSubquery: _Compiler._unsupported,
+    ast.Exists: _Compiler._unsupported,
+    ast.ScalarSubquery: _Compiler._unsupported,
+    ast.Case: _Compiler._unsupported,
+    ast.Star: _Compiler._unsupported,
+}
+
+
+# ---------------------------------------------------------------------------
+# vector operators
+# ---------------------------------------------------------------------------
+
+
+class VNode:
+    """Base vector operator.  Mirrors one row operator (``self.op``)
+    and reports its rows/batches/spill into the row operator's EXPLAIN
+    ANALYZE slot, so both executors share one observability surface."""
+
+    op: Operator
+    dtypes: List[str]
+
+    def run(self, ctx: _Ctx) -> _Batch:
+        collector = ctx.collector
+        if collector is None:
+            return self._execute(ctx)
+        self._batches = 0
+        self._spill = 0
+        started = time.perf_counter()
+        batch = self._execute(ctx)
+        elapsed = time.perf_counter() - started
+        collector.record_vector(
+            self.op, batch.n, self._batches, self._spill, elapsed
+        )
+        return batch
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        raise NotImplementedError
+
+    _batches = 0
+    _spill = 0
+
+
+def _chunks(n: int, size: int) -> int:
+    return (n + size - 1) // size if n else 1
+
+
+class VScan(VNode):
+    """Full scan: columnar tables hand over their column lists (cached
+    per ``data_version``), row tables transpose their tuples."""
+
+    def __init__(self, op: TableScan):
+        self.op = op
+        self.dtypes = _table_dtypes(op.table)
+        self._cache_version: Optional[int] = None
+        self._cache_cols: Optional[List[List[Any]]] = None
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        table = self.op.table
+        version = getattr(table, "data_version", None)
+        if version is not None:
+            if version != self._cache_version or self._cache_cols is None:
+                self._cache_cols = table.column_lists()
+                self._cache_version = version
+            cols = self._cache_cols
+            n = len(table)
+        else:
+            rows = table.rows
+            n = len(rows)
+            if n:
+                cols = [list(c) for c in zip(*rows)]
+            else:
+                cols = [[] for _ in table.columns]
+        self._batches = _chunks(n, ctx.batch_size)
+        return _Batch(cols, n)
+
+
+class VRows(VNode):
+    """Materialized rows (derived tables, views) transposed once."""
+
+    def __init__(self, op: RowsSource):
+        self.op = op
+        width = _frame_width(op.frame)
+        self.dtypes = ["any"] * width
+        self._width = width
+        self._cols: Optional[List[List[Any]]] = None
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        if self._cols is None:
+            rows = self.op.rows
+            if rows:
+                self._cols = [list(c) for c in zip(*rows)]
+            else:
+                self._cols = [[] for _ in range(self._width)]
+        self._batches = _chunks(len(self.op.rows), ctx.batch_size)
+        return _Batch(self._cols, len(self.op.rows))
+
+
+class VIndexLookup(VNode):
+    """Constant-key secondary-index lookup (the pushed-down equality
+    access path).  Key expressions are self-contained — the row
+    operator compiled them against no frame — so they are evaluated
+    once per execution, not per row."""
+
+    def __init__(self, op: IndexLookup):
+        self.op = op
+        self.dtypes = _table_dtypes(op.table)
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        op = self.op
+        key = op._key_fn(None)
+        width = len(op.table.columns)
+        if any(value is None for value in key):
+            self._batches = 1
+            return _Batch([[] for _ in range(width)], 0)
+        rows = list(op.index.lookup(key))
+        if rows:
+            cols = [list(c) for c in zip(*rows)]
+        else:
+            cols = [[] for _ in range(width)]
+        self._batches = _chunks(len(rows), ctx.batch_size)
+        return _Batch(cols, len(rows))
+
+
+class VFilter(VNode):
+    """Selection: evaluates the predicate in chunks of ``batch_size``
+    (touching only the columns the predicate reads) and gathers the
+    surviving positions."""
+
+    def __init__(self, op: Filter, child: VNode, pred: VExpr):
+        self.op = op
+        self.child = child
+        self.dtypes = child.dtypes
+        self.pred = pred
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        batch = self.child.run(ctx)
+        cols = batch.cols
+        n = batch.n
+        pred = self.pred
+        size = ctx.batch_size
+        sel: List[int] = []
+        batches = 0
+        for start in range(0, n, size):
+            end = min(start + size, n)
+            span = end - start
+            sub: List[Optional[List[Any]]] = [None] * len(cols)
+            for u in pred.used:
+                sub[u] = cols[u][start:end]
+            vals = _as_list(pred.fn(ctx, sub, span), span)
+            for k, v in enumerate(vals):
+                if v is True:
+                    sel.append(start + k)
+            batches += 1
+        self._batches = max(1, batches)
+        if len(sel) == n:
+            return _Batch(cols, n)
+        return _Batch([_gather(c, sel) for c in cols], len(sel))
+
+
+class VHashJoin(VNode):
+    """Equi-join on key lists: builds positions on the right input,
+    probes the left in order (left-major output, bucket order within a
+    key — exactly the row operator's emission order).  Above the
+    memory budget the build/probe runs partition-wise through
+    :mod:`repro.sqlengine.spill`."""
+
+    def __init__(
+        self,
+        op: HashJoin,
+        left: VNode,
+        right: VNode,
+        left_keys: List[VExpr],
+        right_keys: List[VExpr],
+        residual: Optional[VExpr],
+    ):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.dtypes = left.dtypes + right.dtypes
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        # build side first, like the row operator
+        rbatch = self.right.run(ctx)
+        lbatch = self.left.run(ctx)
+        rkeys = [
+            _as_list(k.fn(ctx, rbatch.cols, rbatch.n), rbatch.n)
+            for k in self.right_keys
+        ]
+        lkeys = [
+            _as_list(k.fn(ctx, lbatch.cols, lbatch.n), lbatch.n)
+            for k in self.left_keys
+        ]
+        budget = ctx.budget
+        if budget is not None and rbatch.n and spill_mod.estimate_bytes(
+            len(rbatch.cols) + len(rkeys), rbatch.n
+        ) > budget:
+            pairs, spilled = spill_mod.spill_join_pairs(
+                _key_tuples(lkeys, lbatch.n), _key_tuples(rkeys, rbatch.n)
+            )
+            self._spill += spilled
+            lefts = [i for i, _ in pairs]
+            rights = [j for _, j in pairs]
+        else:
+            lefts, rights = _join_pairs(lkeys, lbatch.n, rkeys, rbatch.n)
+        cols = [_gather(c, lefts) for c in lbatch.cols]
+        cols += [_gather(c, rights) for c in rbatch.cols]
+        n = len(lefts)
+        residual = self.residual
+        if residual is not None and n:
+            vals = _as_list(residual.fn(ctx, cols, n), n)
+            sel = [i for i, v in enumerate(vals) if v is True]
+            if len(sel) != n:
+                cols = [_gather(c, sel) for c in cols]
+                n = len(sel)
+        self._batches = _chunks(n, ctx.batch_size)
+        return _Batch(cols, n)
+
+
+def _key_tuples(key_lists: List[List[Any]], n: int) -> List[Tuple[Any, ...]]:
+    if len(key_lists) == 1:
+        return [(v,) for v in key_lists[0]]
+    return list(zip(*key_lists)) if key_lists else [() for _ in range(n)]
+
+
+def _join_pairs(
+    lkeys: List[List[Any]], ln: int, rkeys: List[List[Any]], rn: int
+) -> Tuple[List[int], List[int]]:
+    """Matching (left, right) row indices of an equi-join, i-major and
+    in bucket order per i — as two parallel index lists, ready for
+    :func:`_gather`."""
+    lefts: List[int] = []
+    rights: List[int] = []
+    lappend = lefts.append
+    rappend = rights.append
+    if len(lkeys) == 1 and len(rkeys) == 1:
+        # single-key joins dominate the workload: skip key tuples
+        build_scalar: Dict[Any, List[int]] = {}
+        setdefault = build_scalar.setdefault
+        for j, value in enumerate(rkeys[0]):
+            if value is not None:
+                setdefault(value, []).append(j)
+        get = build_scalar.get
+        for i, value in enumerate(lkeys[0]):
+            if value is None:
+                continue
+            bucket = get(value)
+            if bucket:
+                for j in bucket:
+                    lappend(i)
+                    rappend(j)
+        return lefts, rights
+    build: Dict[Tuple[Any, ...], List[int]] = {}
+    setdefault = build.setdefault
+    for j, key in enumerate(_key_tuples(rkeys, rn)):
+        if None in key:
+            continue
+        setdefault(key, []).append(j)
+    get = build.get
+    for i, key in enumerate(_key_tuples(lkeys, ln)):
+        if None in key:
+            continue
+        bucket = get(key)
+        if bucket:
+            for j in bucket:
+                lappend(i)
+                rappend(j)
+    return lefts, rights
+
+
+class VLeftOuterHashJoin(VNode):
+    """LEFT OUTER equi-join.  Candidates are gathered per left row in
+    bucket order, the residual is applied batch-wise, and unmatched
+    left rows pad the right side with NULLs — the row operator's exact
+    emission order.  (No spilling variant: the mining workload's outer
+    joins are small; above-budget inputs simply run in memory.)"""
+
+    def __init__(
+        self,
+        op: LeftOuterHashJoin,
+        left: VNode,
+        right: VNode,
+        left_keys: List[VExpr],
+        right_keys: List[VExpr],
+        residual: Optional[VExpr],
+    ):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.dtypes = left.dtypes + right.dtypes
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        rbatch = self.right.run(ctx)
+        lbatch = self.left.run(ctx)
+        rkeys = [
+            _as_list(k.fn(ctx, rbatch.cols, rbatch.n), rbatch.n)
+            for k in self.right_keys
+        ]
+        lkeys = [
+            _as_list(k.fn(ctx, lbatch.cols, lbatch.n), lbatch.n)
+            for k in self.left_keys
+        ]
+        build: Dict[Tuple[Any, ...], List[int]] = {}
+        rtup = _key_tuples(rkeys, rbatch.n)
+        for j in range(rbatch.n):
+            key = rtup[j]
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(j)
+        ltup = _key_tuples(lkeys, lbatch.n)
+        # candidate (left, right) pairs, i-major and contiguous per i
+        cand: List[Tuple[int, int]] = []
+        spans: List[Tuple[int, int]] = []
+        for i in range(lbatch.n):
+            key = ltup[i]
+            start = len(cand)
+            if not any(v is None for v in key):
+                for j in build.get(key, ()):
+                    cand.append((i, j))
+            spans.append((start, len(cand)))
+        matched_flags: List[bool]
+        if self.residual is not None and cand:
+            ccols = [_gather(c, [i for i, _ in cand]) for c in lbatch.cols]
+            ccols += [_gather(c, [j for _, j in cand]) for c in rbatch.cols]
+            vals = _as_list(self.residual.fn(ctx, ccols, len(cand)), len(cand))
+            matched_flags = [v is True for v in vals]
+        else:
+            matched_flags = [True] * len(cand)
+        lefts: List[int] = []
+        rights: List[int] = []
+        for i in range(lbatch.n):
+            start, end = spans[i]
+            any_match = False
+            for k in range(start, end):
+                if matched_flags[k]:
+                    any_match = True
+                    lefts.append(i)
+                    rights.append(cand[k][1])
+            if not any_match:
+                lefts.append(i)
+                rights.append(-1)
+        cols = [_gather(c, lefts) for c in lbatch.cols]
+        cols += [_gather_pad(c, rights) for c in rbatch.cols]
+        n = len(lefts)
+        self._batches = _chunks(n, ctx.batch_size)
+        return _Batch(cols, n)
+
+
+class VAggregate(VNode):
+    """Hash grouping with slot reduction.  The output batch carries
+    one representative (first-member) value per child column, followed
+    by one column per aggregate slot; the post-group compiler reads
+    both through flat indices.  Above the memory budget, grouping runs
+    partition-wise on disk."""
+
+    def __init__(
+        self,
+        op: GroupAggregate,
+        child: VNode,
+        key_vexprs: List[VExpr],
+        gctx: _GroupContext,
+    ):
+        self.op = op
+        self.child = child
+        self.key_vexprs = key_vexprs
+        self.gctx = gctx
+        self.dtypes = child.dtypes + [s.dtype for s in gctx.slots]
+
+    def _execute(self, ctx: _Ctx) -> _Batch:
+        batch = self.child.run(ctx)
+        ccols = batch.cols
+        n = batch.n
+        keys = _key_tuples(
+            [
+                _as_list(k.fn(ctx, ccols, n), n)
+                for k in self.key_vexprs
+            ],
+            n,
+        )
+        slots = self.gctx.slots
+        arg_lists: List[Optional[List[Any]]] = [
+            None
+            if s.star
+            else _as_list(s.arg.fn(ctx, ccols, n), n)
+            for s in slots
+        ]
+        budget = ctx.budget
+        if budget is not None and n and spill_mod.estimate_bytes(
+            len(ccols) + len(slots) + len(self.key_vexprs), n
+        ) > budget:
+            repcols, slotcols, count, spilled = spill_mod.spill_aggregate(
+                n, keys, ccols, arg_lists, slots
+            )
+            self._spill += spilled
+            self._batches = _chunks(count, ctx.batch_size)
+            return _Batch(repcols + slotcols, count)
+        groups: Dict[Tuple[Any, ...], int] = {}
+        members: List[List[int]] = []
+        for i in range(n):
+            key = keys[i]
+            g = groups.get(key)
+            if g is None:
+                groups[key] = len(members)
+                members.append([i])
+            else:
+                members[g].append(i)
+        if not members:
+            if not self.op.scalar:
+                self._batches = 1
+                width = len(ccols) + len(slots)
+                return _Batch([[] for _ in range(width)], 0)
+            repcols = [[None] for _ in ccols]
+            members = [[]]
+        else:
+            reps = [m[0] for m in members]
+            repcols = [_gather(c, reps) for c in ccols]
+        slotcols = [
+            reduce_slot(slot, arg_lists[pos], members)
+            for pos, slot in enumerate(slots)
+        ]
+        count = len(members)
+        self._batches = _chunks(count, ctx.batch_size)
+        return _Batch(repcols + slotcols, count)
+
+
+def reduce_values(name: str, values: List[Any]) -> Any:
+    """One aggregate reduction over the non-NULL (and, if requested,
+    already-deduplicated) argument values — the evaluator's exact
+    arithmetic (shared with the spill path)."""
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    return max(values)
+
+
+def reduce_slot(
+    slot: _AggSlot, argv: Optional[List[Any]], members: List[List[int]]
+) -> List[Any]:
+    if slot.star:
+        return [len(m) for m in members]
+    out = []
+    for m in members:
+        values = [argv[i] for i in m]
+        values = [v for v in values if v is not None]
+        if slot.distinct:
+            values = _distinct_values(values)
+        out.append(reduce_values(slot.name, values))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# plan builder
+# ---------------------------------------------------------------------------
+
+
+def _build_node(op: Operator, db: Any) -> VNode:
+    if isinstance(op, TableScan):
+        return VScan(op)
+    if isinstance(op, IndexLookup):
+        if not op.compiled:
+            # interpreted key expressions may need a row environment
+            raise Unsupported("index lookup with non-constant keys")
+        return VIndexLookup(op)
+    if isinstance(op, RowsSource):
+        return VRows(op)
+    if isinstance(op, Filter):
+        child = _build_node(op.child, db)
+        comp = _Compiler(op.frame, child.dtypes, db)
+        return VFilter(op, child, comp.compile(op.predicate))
+    if isinstance(op, (HashJoin, LeftOuterHashJoin)):
+        left = _build_node(op.left, db)
+        right = _build_node(op.right, db)
+        lcomp = _Compiler(op.left.frame, left.dtypes, db)
+        rcomp = _Compiler(op.right.frame, right.dtypes, db)
+        left_keys = [lcomp.compile(k) for k in op.left_keys]
+        right_keys = [rcomp.compile(k) for k in op.right_keys]
+        residual = None
+        if op.residual is not None:
+            jcomp = _Compiler(op.frame, left.dtypes + right.dtypes, db)
+            residual = jcomp.compile(op.residual)
+        cls = VHashJoin if isinstance(op, HashJoin) else VLeftOuterHashJoin
+        return cls(op, left, right, left_keys, right_keys, residual)
+    raise Unsupported(f"operator {type(op).__name__}")
+
+
+class VectorPlan:
+    """A vectorized SELECT pipeline mirroring one ``_SelectPlan``."""
+
+    __slots__ = (
+        "source",
+        "source_op",
+        "filter_vexpr",
+        "parts",
+        "columns",
+        "order_entries",
+        "select",
+        "width",
+    )
+
+    def execute(self, db: Any) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        ctx = _Ctx(db)
+        batch = self.source.run(ctx)
+        im = db._im
+        if im is not None and batch.n:
+            im.rows_scanned.inc(batch.n)
+        cols = batch.cols
+        n = batch.n
+        filt = self.filter_vexpr
+        if filt is not None and n:
+            vals = _as_list(filt.fn(ctx, cols, n), n)
+            sel = [i for i, v in enumerate(vals) if v is True]
+            if len(sel) != n:
+                cols = [_gather(c, sel) for c in cols]
+                n = len(sel)
+        out_cols: List[List[Any]] = []
+        for kind, payload in self.parts:
+            if kind == "cols":
+                for flat in payload:
+                    out_cols.append(cols[flat])
+            elif kind == "expr":
+                out_cols.append(_as_list(payload.fn(ctx, cols, n), n))
+            else:  # "seq": a bare NEXTVAL item, allocated in row order
+                sequence = db.catalog.get_sequence(payload)
+                out_cols.append([sequence.nextval() for _ in range(n)])
+        rows: List[Tuple[Any, ...]] = list(zip(*out_cols)) if n else []
+        select = self.select
+        if select.distinct:
+            seen: Dict[Tuple[Any, ...], None] = {}
+            for row in rows:
+                if row not in seen:
+                    seen[row] = None
+            rows = list(seen.keys())
+        if self.order_entries and rows:
+            rows = self._order(ctx, rows)
+        return self.columns, rows
+
+    def _order(self, ctx: _Ctx, rows: List[Tuple[Any, ...]]) -> List[Any]:
+        from repro.sqlengine import engine as _engine
+
+        width = self.width
+        ocols = [list(c) for c in zip(*rows)]
+        n = len(rows)
+        key_cols: List[List[Any]] = []
+        for kind, payload in self.order_entries:
+            if kind == "pos":
+                position = payload - 1
+                if not 0 <= position < width:
+                    raise ExecutionError(
+                        f"ORDER BY position {payload} out of range"
+                    )
+                key_cols.append(ocols[position])
+            else:
+                key_cols.append(_as_list(payload.fn(ctx, ocols, n), n))
+        keys = list(zip(*key_cols))
+        budget = ctx.budget
+        if budget is not None and spill_mod.estimate_bytes(
+            width + len(key_cols), n
+        ) > budget:
+            rows, spilled = spill_mod.external_sort(
+                rows, keys, self.select.order_by, budget
+            )
+            collector = ctx.collector
+            if collector is not None:
+                collector.add_vector_spill(self.source_op, spilled)
+            return rows
+        return _engine._sort_rows(rows, keys, self.select.order_by)
+
+
+def build_vector_plan(plan: Any, db: Any) -> Any:
+    """Mirror *plan* onto a :class:`VectorPlan`, or return ``False``
+    when any node has no exact vector lowering (row path forever)."""
+    try:
+        return _build_plan(plan, db)
+    except Unsupported:
+        return False
+
+
+def _build_plan(plan: Any, db: Any) -> VectorPlan:
+    select = plan.select
+    source_op = plan.source
+    if source_op is None:
+        raise Unsupported("no FROM source")
+    vp = VectorPlan()
+    vp.select = select
+    vp.source_op = source_op
+    if isinstance(source_op, GroupAggregate):
+        child = _build_node(source_op.child, db)
+        frame = source_op.frame
+        gctx = _GroupContext(len(child.dtypes))
+        scalar_comp = _Compiler(frame, child.dtypes, db)
+        group_comp = _Compiler(
+            frame, child.dtypes, db, groups=gctx, sibling=scalar_comp
+        )
+        key_vexprs = [scalar_comp.compile(k) for k in source_op.keys]
+        vp.filter_vexpr = (
+            group_comp.compile(select.having)
+            if select.having is not None
+            else None
+        )
+        item_comp = group_comp
+        node: VNode = VAggregate(source_op, child, key_vexprs, gctx)
+    else:
+        node = _build_node(source_op, db)
+        from repro.sqlengine.planner import conjoin
+
+        predicate = conjoin(plan.leftovers)
+        item_comp = _Compiler(source_op.frame, node.dtypes, db)
+        vp.filter_vexpr = (
+            item_comp.compile(predicate) if predicate is not None else None
+        )
+    vp.source = node
+    frame = source_op.frame
+    offsets = _frame_offsets(frame)
+
+    parts: List[Tuple[str, Any]] = []
+    out_dtypes: List[str] = []
+    seq_items = 0
+    for item in select.items:
+        expr = item.expr
+        if isinstance(expr, ast.Star):
+            flats = [
+                offsets[src_idx] + col_idx
+                for src_idx, col_idx, _ in frame.star_columns(expr.qualifier)
+            ]
+            parts.append(("cols", flats))
+            out_dtypes.extend(
+                node.dtypes[f] if f < len(node.dtypes) else "any"
+                for f in flats
+            )
+        elif isinstance(expr, ast.SequenceNextval):
+            seq_items += 1
+            if seq_items > 1:
+                # two sequences interleave per row; column-wise
+                # allocation would reorder them
+                raise Unsupported("multiple NEXTVAL select items")
+            parts.append(("seq", expr.sequence))
+            out_dtypes.append("int")
+        else:
+            vexpr = item_comp.compile(expr)
+            parts.append(("expr", vexpr))
+            out_dtypes.append(vexpr.dtype)
+    vp.parts = parts
+    vp.columns = plan.projector.columns
+    vp.width = len(vp.columns)
+
+    entries: List[Tuple[str, Any]] = []
+    if select.order_by:
+        out_frame = Frame.single(None, vp.columns)
+        order_comp = _Compiler(out_frame, out_dtypes, db)
+        for order_item in select.order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                entries.append(("pos", expr.value))
+            else:
+                # compiles only against the output row; source-scoped
+                # or aggregate order keys fall back to the row path
+                entries.append(("expr", order_comp.compile(expr)))
+    vp.order_entries = entries
+    return vp

@@ -36,7 +36,10 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import faults
 from repro.algorithms import FrequentItemsetMiner, get_algorithm
-from repro.algorithms.bitset import validate_representation
+from repro.algorithms.bitset import (
+    set_packed_min_slots,
+    validate_representation,
+)
 from repro.faults import FaultError, RetryPolicy
 from repro.kernel.core.general import GeneralCoreOperator
 from repro.kernel.metrics import CoreStats, ResilienceStats
@@ -57,6 +60,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.parallel import ShardedMiner
+from repro.sqlengine.columnar import validate_storage
 from repro.sqlengine.engine import Database
 from repro.sqlengine.render import render_expr
 
@@ -125,8 +129,35 @@ class MiningSystem:
         workers: int = 1,
         shards: Optional[int] = None,
         shard_start_method: Optional[str] = None,
+        storage: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        packed_min_slots: Optional[int] = None,
     ):
         self.db = database if database is not None else Database()
+        #: physical layout of the encoded tables the preprocessor
+        #: creates (None: "columnar", the PR7 default; "row" restores
+        #: the tuple heaps — bit-identical either way)
+        self.storage = validate_storage(
+            storage if storage is not None else "columnar"
+        )
+        #: engine executor tuning: vectorized batch width and the
+        #: byte budget above which operators spill to disk (None keeps
+        #: the engine defaults / unbounded memory)
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError(
+                    f"batch_size must be positive, got {batch_size}"
+                )
+            self.db.options.batch_size = int(batch_size)
+        if memory_budget is not None:
+            if memory_budget < 1:
+                raise ValueError(
+                    f"memory_budget must be positive, got {memory_budget}"
+                )
+            self.db.options.memory_budget = int(memory_budget)
+        if packed_min_slots is not None:
+            set_packed_min_slots(packed_min_slots)
         #: observability sink for the whole pipeline (spans, counters,
         #: gauges); shared with the SQL engine so statement spans nest
         #: inside the component spans
@@ -184,7 +215,7 @@ class MiningSystem:
         #: default retry policy for :meth:`run` (None: single attempt)
         self.retry_policy = retry_policy
         self._translator = Translator(self.db)
-        self._preprocessor = Preprocessor(self.db)
+        self._preprocessor = Preprocessor(self.db, storage=self.storage)
         self._postprocessor = Postprocessor(self.db)
         self._executions = 0
         #: preprocessing signature -> (workspace, totg, mingroups)
@@ -588,7 +619,17 @@ class MiningSystem:
             metrics=self.metrics,
         )
         if program.core.simple:
-            data = loader.load_simple()
+            # Columnar CodedSource tables stream their raw identifier
+            # columns into the worker bundle instead of per-shard
+            # dicts built in the parent (cuts spawn-mode pickling).
+            streamed = loader.load_simple_columns()
+            if streamed is not None:
+                data, columns = streamed
+                ngroups = len(set(columns[0]))
+            else:
+                data = loader.load_simple()
+                columns = None
+                ngroups = len(data.groups)
             algorithm = self.algorithm
             restore = None
             if (
@@ -602,16 +643,21 @@ class MiningSystem:
                     "core",
                     "sharded simple core processing",
                     f"algorithm {algorithm.name}, "
-                    f"{len(data.groups)} encoded groups, "
+                    f"{ngroups} encoded groups, "
                     f"{miner.shards} shards x {self.workers} workers"
                     + (
                         f" ({self.shard_start_method})"
                         if self.shard_start_method
                         else ""
+                    )
+                    + (
+                        ", shard inputs streamed from columnar columns"
+                        if columns is not None
+                        else ""
                     ),
                 )
                 encoded_rules, core_stats = miner.mine_simple(
-                    data, program.core, algorithm
+                    data, program.core, algorithm, columns=columns
                 )
             finally:
                 if restore is not None:

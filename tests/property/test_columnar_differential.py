@@ -1,0 +1,206 @@
+"""Differential properties of the columnar storage + vectorized path.
+
+The contract of PR 7 is *bit-identity*: for any source data and any
+MINE RULE shape — simple (Q0..Q4) and the general variants (Q5..Q11:
+clustered, mining condition, both — plus source conditions — every
+translation-program query shape), the pipeline must produce identical
+decoded rules and identical golden dumps whether the encoded tables
+are row heaps or columnar vectors, and whether the vectorized
+operators run in memory or spill to disk under a tiny
+``memory_budget``.
+
+A second engine-level property drives the same contract below the
+mining kernel: random rows through representative SELECT shapes
+(filter, join, group/HAVING, ORDER BY, DISTINCT, subquery) on a row
+database vs a columnar one vs a columnar one forced to spill.
+"""
+
+import datetime
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, MiningSystem
+from repro.sqlengine import EngineOptions
+from repro.sqlengine.dump import dump_table_text
+
+# ---------------------------------------------------------------------------
+# MINE RULE shapes: one statement per translation-program classification,
+# together covering every query Q0..Q11 the translator can emit
+# ---------------------------------------------------------------------------
+
+PURCHASE_COLUMNS = ("tr", "customer", "item", "date", "price", "qty")
+
+STATEMENT_SHAPES = {
+    # simple core: Q0..Q4 only
+    "simple": (
+        "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, "
+        "1..1 item AS HEAD, SUPPORT, CONFIDENCE "
+        "FROM Purchase GROUP BY customer "
+        "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2"
+    ),
+    # simple + source condition (extra WHERE in Q0)
+    "simple_filtered": (
+        "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, "
+        "1..1 item AS HEAD, SUPPORT, CONFIDENCE "
+        "FROM Purchase WHERE price >= 20 GROUP BY customer "
+        "EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2"
+    ),
+    # general, clustered, no mining condition (Q5..Q9 family)
+    "clustered": (
+        "MINE RULE R AS SELECT DISTINCT 1..1 item AS BODY, "
+        "1..1 item AS HEAD, SUPPORT, CONFIDENCE "
+        "FROM Purchase GROUP BY customer "
+        "CLUSTER BY date HAVING BODY.date < HEAD.date "
+        "EXTRACTING RULES WITH SUPPORT: 0.05, CONFIDENCE: 0.1"
+    ),
+    # general, mining condition without CLUSTER BY (InputRules path)
+    "mining_condition": (
+        "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, "
+        "1..1 item AS HEAD, SUPPORT, CONFIDENCE "
+        "WHERE BODY.price >= 50 AND HEAD.price < 50 "
+        "FROM Purchase GROUP BY customer "
+        "EXTRACTING RULES WITH SUPPORT: 0.05, CONFIDENCE: 0.1"
+    ),
+    # the paper's full example: mining condition + CLUSTER BY + source
+    # condition (Q10/Q11 included)
+    "full": (
+        "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, "
+        "1..n item AS HEAD, SUPPORT, CONFIDENCE "
+        "WHERE BODY.price >= 50 AND HEAD.price < 50 "
+        "FROM Purchase "
+        "WHERE date BETWEEN DATE '1995-01-01' AND DATE '1995-12-31' "
+        "GROUP BY customer "
+        "CLUSTER BY date HAVING BODY.date < HEAD.date "
+        "EXTRACTING RULES WITH SUPPORT: 0.05, CONFIDENCE: 0.1"
+    ),
+}
+
+_DATES = (
+    datetime.date(1995, 1, 10),
+    datetime.date(1995, 6, 15),
+    datetime.date(1995, 12, 20),
+)
+
+purchase_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=30),                   # tr
+        st.sampled_from(["ada", "bob", "cleo", "dora"]),          # customer
+        st.sampled_from(["boots", "coat", "hat", "ski", "sock",
+                         "belt"]),                                # item
+        st.sampled_from(_DATES),                                  # date
+        st.sampled_from([10.0, 30.0, 50.0, 120.0, 250.0]),        # price
+        st.integers(min_value=1, max_value=3),                    # qty
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _load_purchase(database, rows):
+    database.create_table_from_rows(
+        "Purchase",
+        PURCHASE_COLUMNS,
+        rows,
+        types=None,
+        replace=True,
+    )
+
+
+def _run_pipeline(rows, statement, **system_kw):
+    database = Database()
+    _load_purchase(database, rows)
+    system = MiningSystem(database=database, **system_kw)
+    result = system.run(statement)
+    out = result.output_table
+    dumps = {
+        table: dump_table_text(database, table)
+        for table in (out, f"{out}_Bodies", f"{out}_Heads", f"{out}_Display")
+        if database.catalog.has_table(table)
+    }
+    return result.rules, dumps
+
+
+class TestPipelineRowVsColumnarVsSpill:
+    @settings(max_examples=5, deadline=None)
+    @given(rows=purchase_rows, shape=st.sampled_from(sorted(STATEMENT_SHAPES)))
+    def test_bit_identical_rules_and_dumps(self, rows, shape):
+        statement = STATEMENT_SHAPES[shape]
+        row_rules, row_dumps = _run_pipeline(
+            rows, statement, storage="row"
+        )
+        col_rules, col_dumps = _run_pipeline(
+            rows, statement, storage="columnar"
+        )
+        spill_rules, spill_dumps = _run_pipeline(
+            rows, statement, storage="columnar",
+            memory_budget=2_000, batch_size=16,
+        )
+        assert col_rules == row_rules
+        assert spill_rules == row_rules
+        assert col_dumps == row_dumps
+        assert spill_dumps == row_dumps
+
+
+# ---------------------------------------------------------------------------
+# engine-level SELECT differential
+# ---------------------------------------------------------------------------
+
+SELECT_SHAPES = (
+    "SELECT a, b FROM t WHERE a > 3 ORDER BY a, b",
+    "SELECT DISTINCT b FROM t ORDER BY b",
+    "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b "
+    "HAVING COUNT(*) >= 1 ORDER BY b",
+    "SELECT t.a, u.c FROM t, u WHERE t.b = u.b ORDER BY t.a, u.c",
+    "SELECT a FROM t WHERE b IN (SELECT b FROM u) ORDER BY a",
+    "SELECT b, MAX(a), MIN(a) FROM t WHERE a >= 0 GROUP BY b ORDER BY b",
+)
+
+engine_rows = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(min_value=-5, max_value=20)),  # a
+        st.sampled_from(["x", "y", "z", "w"]),                          # b
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+other_rows = st.lists(
+    st.tuples(
+        st.sampled_from(["x", "y", "q"]),                               # b
+        st.integers(min_value=0, max_value=9),                          # c
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+def _engine_results(options, t_rows, u_rows):
+    database = Database(options=options)
+    database.create_table_from_rows("t", ("a", "b"), t_rows)
+    database.create_table_from_rows("u", ("b", "c"), u_rows)
+    return [tuple(database.query(sql)) for sql in SELECT_SHAPES]
+
+
+class TestEngineRowVsColumnarVsSpill:
+    @settings(max_examples=20, deadline=None)
+    @given(t_rows=engine_rows, u_rows=other_rows)
+    def test_select_shapes_agree(self, t_rows, u_rows):
+        row = _engine_results(EngineOptions(storage="row"), t_rows, u_rows)
+        col = _engine_results(
+            EngineOptions(storage="columnar"), t_rows, u_rows
+        )
+        spill = _engine_results(
+            EngineOptions(
+                storage="columnar", memory_budget=500, batch_size=8
+            ),
+            t_rows,
+            u_rows,
+        )
+        novec = _engine_results(
+            EngineOptions(storage="columnar", vectorize=False),
+            t_rows,
+            u_rows,
+        )
+        assert col == row
+        assert spill == row
+        assert novec == row

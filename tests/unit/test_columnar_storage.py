@@ -1,0 +1,278 @@
+"""Unit tests for the columnar storage layer and the vectorized
+executor's observable surface (PR 7).
+
+Covered here: the adaptive :class:`ColumnVector` layouts and their
+exact-promotion rules, the :class:`ColumnarTable` Table contract
+(DML, indexes, out-of-band row mutation), storage selection
+(``EngineOptions.storage``, per-table ``storage_hints``), the
+spill-to-disk helpers, EXPLAIN ANALYZE's per-node batch/spill
+counters, and the ``PACKED_MIN_SLOTS`` override hook.  The
+end-to-end bit-identity net lives in
+``tests/property/test_columnar_differential.py``.
+"""
+
+import datetime
+from types import SimpleNamespace
+
+import pytest
+
+from repro.algorithms import bitset
+from repro.sqlengine import (
+    ColumnarTable,
+    Database,
+    EngineOptions,
+    STORAGE_KINDS,
+)
+from repro.sqlengine.columnar import ColumnVector, make_table, validate_storage
+from repro.sqlengine.spill import (
+    estimate_bytes,
+    external_sort,
+    spill_aggregate,
+    spill_join_pairs,
+)
+from repro.sqlengine.types import SqlType
+
+
+class TestColumnVector:
+    def test_int_layout_with_nulls(self):
+        vector = ColumnVector()
+        for value in (1, None, 3):
+            vector.append(value)
+        assert vector.kind == "int"
+        assert vector.to_pylist() == [1, None, 3]
+        assert vector.get(1) is None
+        assert vector.has_nulls
+
+    def test_string_dictionary_interns_repeats(self):
+        vector = ColumnVector()
+        for value in ("a", "b", "a", None, "a"):
+            vector.append(value)
+        assert vector.kind == "str"
+        assert vector.values == ["a", "b"]  # two distinct codes only
+        assert vector.to_pylist() == ["a", "b", "a", None, "a"]
+
+    def test_leading_null_run_adopts_later_layout(self):
+        vector = ColumnVector()
+        for value in (None, None, "x"):
+            vector.append(value)
+        assert vector.kind == "str"
+        assert vector.to_pylist() == [None, None, "x"]
+
+    def test_promotion_keeps_values_exact(self):
+        vector = ColumnVector()
+        vector.append(7)
+        vector.append(datetime.date(1995, 1, 1))  # int cannot hold it
+        assert vector.kind == "obj"
+        assert vector.to_pylist() == [7, datetime.date(1995, 1, 1)]
+
+    def test_bool_and_overflow_go_to_obj(self):
+        vector = ColumnVector()
+        vector.append(True)
+        assert vector.kind == "obj"
+        big = ColumnVector()
+        big.append(2**70)
+        assert big.kind == "obj"
+        assert big.to_pylist() == [2**70]
+
+
+class TestColumnarTable:
+    def _table(self):
+        table = ColumnarTable(
+            "T", ("a", "b"), [SqlType.INTEGER, SqlType.VARCHAR]
+        )
+        table.insert((1, "x"))
+        table.insert((2, "y"))
+        table.insert((None, "x"))
+        return table
+
+    def test_row_contract(self):
+        table = self._table()
+        assert table.storage == "columnar"
+        assert len(table) == 3
+        assert list(table) == [(1, "x"), (2, "y"), (None, "x")]
+        assert table.get(table.rows[1], "b") == "y"
+
+    def test_replace_and_truncate(self):
+        table = self._table()
+        table.replace_rows([(9, "z")])
+        assert list(table) == [(9, "z")]
+        table.truncate()
+        assert len(table) == 0
+        assert table.rows == []
+
+    def test_secondary_index_maintained(self):
+        table = self._table()
+        index = table.create_index("ix_b", ("b",))
+        assert list(index.lookup(("x",))) == [(1, "x"), (None, "x")]
+        table.insert((4, "x"))
+        assert len(index.lookup(("x",))) == 3
+
+    def test_out_of_band_rows_append_is_absorbed(self):
+        # dump restore and a few tests append to table.rows directly;
+        # the columnar layout must notice and re-encode
+        table = self._table()
+        table.rows.append((5, "w"))
+        assert len(table) == 4
+        assert table.column_lists()[0] == [1, 2, None, 5]
+
+    def test_insert_coerces_to_declared_types(self):
+        table = ColumnarTable("T", ("a",), [SqlType.REAL])
+        table.insert((1,))
+        assert table.rows == [(1.0,)]
+
+    def test_make_table_and_validate(self):
+        assert isinstance(make_table("columnar", "t", ("a",)), ColumnarTable)
+        assert make_table("row", "t", ("a",)).storage == "row"
+        with pytest.raises(ValueError):
+            validate_storage("parquet")
+        assert STORAGE_KINDS == ("row", "columnar")
+
+
+class TestStorageSelection:
+    def test_engine_option_defaults_all_tables(self):
+        database = Database(options=EngineOptions(storage="columnar"))
+        database.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        assert database.catalog.storage_of("t") == "columnar"
+        database.execute("INSERT INTO t VALUES (1, 'x')")
+        database.execute("CREATE TABLE c AS SELECT a FROM t")
+        assert database.catalog.storage_of("c") == "columnar"
+
+    def test_storage_hints_override_per_table(self):
+        database = Database()  # row default
+        database.storage_hints["enc"] = "columnar"
+        database.execute("CREATE TABLE enc (a INTEGER)")
+        database.execute("CREATE TABLE plain (a INTEGER)")
+        assert database.catalog.storage_of("enc") == "columnar"
+        assert database.catalog.storage_of("plain") == "row"
+
+    def test_row_and_columnar_query_identically(self):
+        results = []
+        for kind in STORAGE_KINDS:
+            database = Database(options=EngineOptions(storage=kind))
+            database.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+            for i in range(20):
+                database.execute(
+                    f"INSERT INTO t VALUES ({i}, '{'xy'[i % 2]}')"
+                )
+            results.append(
+                database.query(
+                    "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b ORDER BY b"
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestSpillHelpers:
+    def test_estimate_scales_with_shape(self):
+        assert estimate_bytes(2, 100) > estimate_bytes(1, 100)
+        assert estimate_bytes(2, 200) > estimate_bytes(2, 100)
+
+    def test_external_sort_matches_sorted(self):
+        rows = [(i % 7, -i) for i in range(500)]
+        keys = [(row[0],) for row in rows]
+        order_by = [SimpleNamespace(ascending=True)]  # expr itself unused
+        merged, spilled = external_sort(
+            list(rows), keys, order_by, budget=512
+        )
+        assert spilled > 0
+        assert merged == sorted(rows, key=lambda r: (r[0],))
+        # stability: equal keys keep input order
+        by_key = [r for r in merged if r[0] == 3]
+        assert by_key == [r for r in rows if r[0] == 3]
+
+    def test_spill_join_pairs_matches_nested_loop(self):
+        left = [(i % 5,) for i in range(40)]
+        right = [(i % 3,) for i in range(30)]
+        expected = [
+            (i, j)
+            for i, lk in enumerate(left)
+            for j, rk in enumerate(right)
+            if lk == rk
+        ]
+        pairs, spilled = spill_join_pairs(left, right)
+        assert pairs == expected
+        assert spilled > 0
+
+    def test_spill_join_skips_null_keys(self):
+        pairs, _ = spill_join_pairs([(None,), (1,)], [(1,), (None,)])
+        assert pairs == [(1, 0)]
+
+
+class TestExplainAnalyzeCounters:
+    def _database(self, memory_budget=None):
+        database = Database(
+            options=EngineOptions(
+                storage="columnar", batch_size=16,
+                memory_budget=memory_budget,
+            )
+        )
+        database.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        for i in range(200):
+            database.execute(
+                f"INSERT INTO t VALUES ({i}, 'v{i % 11}')"
+            )
+        return database
+
+    def test_vectorized_nodes_report_batches(self):
+        database = self._database()
+        analysis = database.analyze(
+            "SELECT b, COUNT(*) FROM t WHERE a > 10 GROUP BY b"
+        )
+        vectorized = [n for n in analysis.nodes if n.get("vectorized")]
+        assert vectorized, analysis.text
+        assert all(n["batches"] >= 1 for n in vectorized)
+        assert "[vectorized batches=" in analysis.text
+
+    def test_spill_bytes_surface_in_plan(self):
+        database = self._database(memory_budget=1_000)
+        analysis = database.analyze(
+            "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b"
+        )
+        assert any(
+            n.get("spill_bytes", 0) > 0
+            for n in analysis.nodes
+            if n.get("vectorized")
+        ), analysis.text
+
+    def test_row_fallback_for_unsupported_plans(self):
+        database = self._database()
+        # correlated subquery: the vectorizer falls back, the row path
+        # answers, and no vectorized annotation appears
+        analysis = database.analyze(
+            "SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t)"
+        )
+        assert analysis.result.rows == [(199,)]
+        assert "[vectorized" not in analysis.text
+
+
+class TestSpillAggregateHelper:
+    def test_group_counts_match(self):
+        n = 50
+        keys = [(i % 4,) for i in range(n)]
+        child_cols = [[i % 4 for i in range(n)]]
+
+        class Slot:
+            name = "COUNT"
+            star = True
+            distinct = False
+
+        repcols, slotcols, count, spilled = spill_aggregate(
+            n, keys, child_cols, [None], [Slot()]
+        )
+        assert count == 4
+        assert repcols[0] == [0, 1, 2, 3]
+        assert slotcols[0] == [13, 13, 12, 12]
+        assert spilled > 0
+
+
+class TestPackedMinSlotsOverride:
+    def test_setter_round_trips(self):
+        before = bitset.PACKED_MIN_SLOTS
+        try:
+            previous = bitset.set_packed_min_slots(7)
+            assert previous == before
+            assert bitset.PACKED_MIN_SLOTS == 7
+            with pytest.raises(ValueError):
+                bitset.set_packed_min_slots(-1)
+        finally:
+            bitset.set_packed_min_slots(before)

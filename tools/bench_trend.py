@@ -10,8 +10,14 @@ rows, and renders the per-PR trajectory as
 * ``BENCH_TREND.md`` — a markdown table (rows: scenario.metric,
   columns: PR1..PRn, blank cells where a PR has no such metric or the
   artifact is missing entirely — PR3 shipped no bench artifact, and
-  that must not break the table); and
+  that must not break the table), followed by an ASCII bar chart of
+  every ``*.speedup`` series (latest recorded value per metric); and
 * ``BENCH_TREND.json`` — the same data machine-readable.
+
+Two-level metric dicts whose leaves carry ``row`` and ``columnar``
+timings (PR7's per-query ``query_seconds``) additionally derive a
+``….<label>.speedup`` row, so the preprocessing speedup shows up per
+query in the trajectory and the chart.
 
 Usage::
 
@@ -64,6 +70,17 @@ def flatten(document: object) -> Dict[str, float]:
                 for label, leaf in value.items():
                     if _numeric(leaf):
                         flat[f"{scenario}.{metric}.{label}"] = leaf
+                    elif (
+                        isinstance(leaf, dict)
+                        and _numeric(leaf.get("row"))
+                        and _numeric(leaf.get("columnar"))
+                        and leaf["columnar"]
+                    ):
+                        # row-vs-columnar timing pair: derive the
+                        # speedup as the trajectory point
+                        flat[f"{scenario}.{metric}.{label}.speedup"] = (
+                            round(leaf["row"] / leaf["columnar"], 2)
+                        )
     return flat
 
 
@@ -110,6 +127,42 @@ def _cell(value: Optional[float]) -> str:
     return str(int(value))
 
 
+def render_speedup_chart(trend: Dict[str, object], width: int = 40) -> str:
+    """An ASCII bar chart of every ``*.speedup`` metric — the latest
+    recorded value per series, scaled to the largest one.  Empty string
+    when no artifact records a speedup."""
+    columns: List[str] = trend["columns"]  # type: ignore[assignment]
+    latest: List[Tuple[str, str, float]] = []
+    for row in trend["rows"]:  # type: ignore[union-attr]
+        metric = row["metric"]
+        if "speedup" not in metric.split("."):
+            continue
+        for column in reversed(columns):
+            value = row["values"].get(column)
+            if value is not None:
+                latest.append((metric, column, value))
+                break
+    if not latest:
+        return ""
+    peak = max(value for _, _, value in latest)
+    name_width = max(len(metric) for metric, _, _ in latest)
+    lines = [
+        "## Speedup series",
+        "",
+        "Latest recorded value of every `*.speedup` metric (bars scaled",
+        "to the largest series).",
+        "",
+        "```",
+    ]
+    for metric, column, value in latest:
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(
+            f"{metric:<{name_width}}  {column:>4}  {bar} {value:.2f}x"
+        )
+    lines.extend(["```", ""])
+    return "\n".join(lines)
+
+
 def render_markdown(trend: Dict[str, object]) -> str:
     columns = trend["columns"]
     lines = [
@@ -128,6 +181,9 @@ def render_markdown(trend: Dict[str, object]) -> str:
         cells = [_cell(values.get(column)) for column in columns]
         lines.append(f"| {row['metric']} | " + " | ".join(cells) + " |")
     lines.append("")
+    chart = render_speedup_chart(trend)
+    if chart:
+        lines.append(chart)
     return "\n".join(lines)
 
 
