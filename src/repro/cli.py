@@ -38,6 +38,8 @@ commands start with a dot:
                        spec: ``site:call[*times][@latency],...``)
 ``.metrics``           Prometheus text dump of the metrics registry
 ``.slowlog``           slowest recorded statements (serve mode)
+``.jobs``              job-service snapshot: states, queue depth,
+                       worker utilization (serve mode)
 ``.quit``              leave the shell
 =====================  ==================================================
 
@@ -126,6 +128,9 @@ class Shell:
             memory_budget=memory_budget,
             packed_min_slots=packed_min_slots,
         )
+        #: job service (``repro.jobs.JobService``) attached by serve
+        #: mode so ``.jobs`` can report it; None in the plain shell
+        self.jobs = None
         #: resume MINE RULE statements from crash checkpoints
         self.resume = resume
         self.timing = False
@@ -386,6 +391,34 @@ class Shell:
             if self.slowlog is None:
                 return "no slow-query log attached (serve mode has one)"
             return self.slowlog.render()
+        if command == ".jobs":
+            if self.jobs is None:
+                return (
+                    "no job service attached (serve mode runs one; "
+                    "POST /jobs on the monitoring port)"
+                )
+            stats = self.jobs.stats()
+            lines = [
+                f"workers: {stats['workers']} "
+                f"({stats['workers_busy']} busy), "
+                f"queue depth: {stats['queue_depth']}",
+                f"jobs: {stats['total']} "
+                f"({stats['evicted']} evicted)",
+            ]
+            for state in sorted(stats["counts"]):
+                lines.append(f"  {state}: {stats['counts'][state]}")
+            recent = self.jobs.list()[-10:]
+            for job in recent:
+                runtime = job.runtime()
+                suffix = (
+                    f" [{runtime * 1000:.1f} ms]"
+                    if runtime is not None
+                    else ""
+                )
+                lines.append(
+                    f"  {job.id} {job.state} ({job.kind}){suffix}"
+                )
+            return "\n".join(lines)
         if command in (".quit", ".exit", ".q"):
             raise EOFError
         return f"unknown command {command!r}; try .help"

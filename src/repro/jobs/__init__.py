@@ -1,0 +1,50 @@
+"""Asynchronous job execution for the mining service.
+
+The paper's architecture assumes the mining operator lives inside a
+live DBMS serving many clients concurrently.  This package supplies
+that shape: statements are submitted as *jobs* into a bounded queue, a
+worker pool executes them against one shared
+:class:`~repro.system.MiningSystem`, and every job moves through an
+explicit state machine (``queued`` → ``running`` →
+``done``/``failed``/``cancelled``) whose results stay retrievable by
+job id.  The REST surface lives in :mod:`repro.jobs.api` and is
+mounted on the monitoring HTTP server.
+
+Concurrency contract: MINE RULE jobs hold the engine's write lock for
+their whole pipeline (see :mod:`repro.sqlengine.locks`), so every
+job's output is bit-identical to running the same statements serially;
+plain SELECT jobs share the read side and scan in parallel.
+"""
+
+from repro.jobs.model import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL,
+    TRANSITIONS,
+    InvalidTransition,
+    Job,
+)
+from repro.jobs.pool import WorkerPool
+from repro.jobs.service import JobQueueFull, JobService
+from repro.jobs.table import JobTable
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "TERMINAL",
+    "TRANSITIONS",
+    "InvalidTransition",
+    "Job",
+    "JobQueueFull",
+    "JobService",
+    "JobTable",
+    "WorkerPool",
+]

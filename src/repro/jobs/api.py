@@ -1,0 +1,145 @@
+"""REST surface of the job service.
+
+Routes (mounted on the monitoring HTTP server, so one port serves
+both the observability endpoints and the job API):
+
+* ``POST   /jobs``               — submit; body is JSON
+  (``{"statement": "...", "kind": ..., "retries": ...}``) or a raw
+  statement; answers 201 with the job record
+* ``GET    /jobs``               — list (``?state=queued`` filters)
+* ``GET    /jobs/<id>``          — job record
+* ``GET    /jobs/<id>/result``   — result payload of a ``done`` job;
+  409 with the current state while not done
+* ``DELETE /jobs/<id>``          — cancel (idempotent)
+
+Transport-agnostic by design: :meth:`JobsApi.handle` maps
+``(method, path, body)`` to ``(status code, JSON payload)`` so the
+HTTP handler stays a dumb shim and the full API is testable without
+sockets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.jobs.model import DONE, STATES
+from repro.jobs.service import JobQueueFull, JobService
+
+Response = Tuple[int, Dict[str, Any]]
+
+
+class JobsApi:
+    """Method+path router over one :class:`JobService`."""
+
+    def __init__(self, service: JobService):
+        self.service = service
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        query: Optional[Dict[str, str]] = None,
+    ) -> Optional[Response]:
+        """Route one request; None when the path is not ours."""
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "jobs":
+            return None
+        method = method.upper()
+        if len(parts) == 1:
+            if method == "GET":
+                return self._list(query or {})
+            if method == "POST":
+                return self._submit(body)
+            return 405, {"error": f"{method} not allowed on /jobs"}
+        job_id = parts[1]
+        if len(parts) == 2:
+            if method == "GET":
+                return self._get(job_id)
+            if method == "DELETE":
+                return self._cancel(job_id)
+            return 405, {"error": f"{method} not allowed on /jobs/<id>"}
+        if len(parts) == 3 and parts[2] == "result":
+            if method == "GET":
+                return self._result(job_id)
+            return 405, {
+                "error": f"{method} not allowed on /jobs/<id>/result"
+            }
+        return 404, {"error": f"unknown path {path!r}"}
+
+    # -- handlers -------------------------------------------------------
+
+    def _submit(self, body: Optional[bytes]) -> Response:
+        if not body:
+            return 400, {"error": "empty request body"}
+        text = body.decode("utf-8", errors="replace")
+        statement: Optional[str] = text
+        kind: Optional[str] = None
+        retries: Optional[int] = None
+        stripped = text.lstrip()
+        if stripped.startswith("{"):
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "JSON body must be an object"}
+            statement = payload.get("statement")
+            kind = payload.get("kind")
+            retries = payload.get("retries")
+            if retries is not None and (
+                not isinstance(retries, int) or retries < 1
+            ):
+                return 400, {"error": "retries must be a positive integer"}
+        if not statement or not str(statement).strip():
+            return 400, {"error": "missing statement"}
+        try:
+            job = self.service.submit(
+                str(statement), kind=kind, retries=retries
+            )
+        except JobQueueFull as exc:
+            return 503, {
+                "error": str(exc),
+                "job": exc.job.to_dict(),
+            }
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        return 201, {"job": job.to_dict()}
+
+    def _list(self, query: Dict[str, str]) -> Response:
+        state = query.get("state")
+        if state is not None and state not in STATES:
+            return 400, {
+                "error": f"unknown state {state!r}",
+                "states": sorted(STATES),
+            }
+        jobs = self.service.list(state)
+        return 200, {
+            "jobs": [job.to_dict() for job in jobs],
+            "stats": self.service.stats(),
+        }
+
+    def _get(self, job_id: str) -> Response:
+        job = self.service.get(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        return 200, {"job": job.to_dict()}
+
+    def _result(self, job_id: str) -> Response:
+        job = self.service.get(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        if job.state != DONE:
+            return 409, {
+                "error": f"{job_id} is {job.state}, not {DONE}",
+                "job": job.to_dict(),
+            }
+        return 200, {"job": job.to_dict(with_result=True)}
+
+    def _cancel(self, job_id: str) -> Response:
+        try:
+            job = self.service.cancel(job_id)
+        except KeyError:
+            return 404, {"error": f"no such job: {job_id}"}
+        return 200, {"job": job.to_dict()}

@@ -1,0 +1,136 @@
+"""Job records and the job state machine.
+
+States and legal transitions::
+
+    queued ──────► running ──────► done
+       │              │ ▲  └─────► failed
+       │              │ └─(requeue/retry)─ queued
+       └──────────────┴─────────► cancelled
+
+``done``, ``failed`` and ``cancelled`` are terminal (sticky): their
+transition sets are empty, so any attempt to leave them raises
+:class:`InvalidTransition`.  The ``running → queued`` edge is the
+requeue used when a worker dies mid-job and the job is handed back.
+All transitions funnel through :meth:`Job.transition`, which is the
+single enforcement point the property tests drive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES: FrozenSet[str] = frozenset(
+    {QUEUED, RUNNING, DONE, FAILED, CANCELLED}
+)
+
+#: state -> the states it may move to; empty set == terminal
+TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED, FAILED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED, QUEUED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+TERMINAL: FrozenSet[str] = frozenset(
+    state for state, targets in TRANSITIONS.items() if not targets
+)
+
+
+class InvalidTransition(Exception):
+    """An illegal state-machine edge was attempted."""
+
+    def __init__(self, job_id: str, old: str, new: str):
+        super().__init__(
+            f"job {job_id}: illegal transition {old!r} -> {new!r}"
+        )
+        self.job_id = job_id
+        self.old = old
+        self.new = new
+
+
+def check_transition(job_id: str, old: str, new: str) -> None:
+    """Validate one edge; raises :class:`InvalidTransition`."""
+    if new not in STATES:
+        raise InvalidTransition(job_id, old, new)
+    if new not in TRANSITIONS[old]:
+        raise InvalidTransition(job_id, old, new)
+
+
+@dataclass
+class Job:
+    """One submitted statement and its lifecycle record.
+
+    Mutation protocol: all state changes go through the owning
+    :class:`~repro.jobs.table.JobTable`, whose lock serializes them;
+    a bare Job is only safe to mutate single-threaded (unit tests).
+    """
+
+    id: str
+    statement: str
+    #: "mine" for MINE RULE statements, "sql" for everything else
+    kind: str = "sql"
+    state: str = QUEUED
+    #: terminal detail: the recorded error of a failed job
+    error: Optional[str] = None
+    #: terminal detail: the result payload of a done job
+    result: Optional[Dict[str, Any]] = None
+    #: execution attempts started (bumped on queued -> running)
+    attempts: int = 0
+    #: cooperative-cancel flag polled by the running pipeline
+    cancel_requested: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def transition(self, new_state: str) -> None:
+        """Move to *new_state* (validating the edge) and keep the
+        timestamps/attempt counter consistent."""
+        check_transition(self.id, self.state, new_state)
+        now = time.time()
+        if new_state == RUNNING:
+            self.attempts += 1
+            self.started_at = now
+        elif new_state in TERMINAL:
+            self.finished_at = now
+        elif new_state == QUEUED:
+            # requeued for another attempt: the record is live again
+            self.started_at = None
+            self.finished_at = None
+        self.state = new_state
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def runtime(self) -> Optional[float]:
+        """Wall seconds from start to finish (None until finished)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self, with_result: bool = False) -> Dict[str, Any]:
+        """JSON-able snapshot for the REST API."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "statement": self.statement,
+            "attempts": self.attempts,
+            "cancel_requested": self.cancel_requested,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if with_result:
+            payload["result"] = self.result
+        return payload

@@ -1,0 +1,109 @@
+"""Bounded worker pool: daemon threads draining one queue.
+
+Deliberately tiny — stdlib ``queue.Queue`` with a maxsize gives the
+bounded submission semantics (an overfull queue rejects immediately
+instead of buffering without limit), and sentinel items give a clean
+join on shutdown.  The pool knows nothing about jobs; it runs whatever
+handler the :class:`~repro.jobs.service.JobService` installs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Optional
+
+_STOP = object()
+
+
+class WorkerPool:
+    """``workers`` daemon threads calling ``handler(item)`` per item."""
+
+    def __init__(
+        self,
+        handler: Callable[[Any], None],
+        workers: int = 4,
+        queue_size: int = 64,
+        name: str = "repro-job",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if queue_size < 1:
+            raise ValueError(
+                f"queue_size must be positive, got {queue_size}"
+            )
+        self.handler = handler
+        self.workers = workers
+        self.queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        self._name = name
+        self._threads: list = []
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, name=f"{self._name}-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Drain-free shutdown: each worker exits after its current
+        item once it sees a sentinel."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self.queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        self._started = False
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, item: Any) -> None:
+        """Enqueue without blocking; raises :class:`queue.Full` when
+        the bounded queue is at capacity (back-pressure)."""
+        self.queue.put_nowait(item)
+
+    # -- observability --------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Items waiting in the queue right now."""
+        return self.queue.qsize()
+
+    @property
+    def busy(self) -> int:
+        """Workers currently executing an item."""
+        with self._busy_lock:
+            return self._busy
+
+    # -- worker loop ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                self.queue.task_done()
+                return
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self.handler(item)
+            except Exception:
+                # The handler owns error recording (a job lands in
+                # "failed"); a bug in it must not kill the worker.
+                pass
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+                self.queue.task_done()

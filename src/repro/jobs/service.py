@@ -1,0 +1,273 @@
+"""The job service: submission, execution, cancellation, metrics.
+
+Glues the pieces together: statements come in through
+:meth:`JobService.submit` (directly or via the REST API), land in the
+:class:`~repro.jobs.table.JobTable`, and a
+:class:`~repro.jobs.pool.WorkerPool` executes them against one shared
+:class:`~repro.system.MiningSystem`.  MINE RULE jobs run the full
+pipeline under the engine's write lock; SQL jobs go straight to the
+engine, whose statement guard gives scans the shared read side.
+
+Fault sites (:mod:`repro.faults`): ``jobs.submit`` fires during
+submission (the job is recorded, then lands in ``failed`` with the
+error), ``jobs.run.<id>`` fires at the start of each execution attempt
+— with a per-job :class:`~repro.faults.RetryPolicy` the attempt is
+retried with backoff, and a retried job's result is bit-identical to
+an unfaulted run.
+
+Metrics (PR5 registry): ``repro_jobs_queue_depth`` (gauge),
+``repro_job_seconds{kind,status}`` (histogram),
+``repro_jobs_total{status}`` (counter),
+``repro_jobs_workers_busy`` (gauge).
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import faults
+from repro.faults import FaultError, RetryPolicy
+from repro.jobs.model import CANCELLED, DONE, FAILED, Job
+from repro.jobs.pool import WorkerPool
+from repro.jobs.table import JobTable
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.sqlengine.dump import dump_table_text
+from repro.system import MiningSystem, RunCancelled
+
+
+class JobQueueFull(Exception):
+    """The bounded job queue rejected a submission (back-pressure).
+
+    Carries the already-recorded job (state ``failed``) so callers can
+    report its id."""
+
+    def __init__(self, job: Job):
+        super().__init__(
+            f"job queue full; {job.id} rejected (resubmit later)"
+        )
+        self.job = job
+
+
+class JobService:
+    """Concurrent statement execution against one mining system."""
+
+    def __init__(
+        self,
+        system: MiningSystem,
+        workers: int = 4,
+        queue_size: int = 64,
+        capacity: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        self.system = system
+        self.table = JobTable(capacity=capacity)
+        self.pool = WorkerPool(
+            handler=self._execute, workers=workers, queue_size=queue_size
+        )
+        self.retry_policy = retry_policy
+        #: job id -> per-job retry policy override
+        self._policies: Dict[str, RetryPolicy] = {}
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
+        self._queue_depth = registry.gauge(
+            "repro_jobs_queue_depth", "Jobs waiting in the bounded queue"
+        )
+        self._workers_busy = registry.gauge(
+            "repro_jobs_workers_busy", "Workers currently executing a job"
+        )
+        self._job_seconds = registry.histogram(
+            "repro_job_seconds",
+            "Job execution latency by kind and terminal status",
+            ("kind", "status"),
+        )
+        self._jobs_total = registry.counter(
+            "repro_jobs_total", "Jobs finished by terminal status",
+            ("status",),
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "JobService":
+        self.pool.start()
+        self._queue_depth.set(0)
+        self._workers_busy.set(0)
+        return self
+
+    def stop(self) -> None:
+        self.pool.stop()
+
+    def __enter__(self) -> "JobService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        statement: str,
+        kind: Optional[str] = None,
+        retries: Optional[int] = None,
+    ) -> Job:
+        """Record and enqueue one statement; returns the job record.
+
+        ``kind`` is derived from the text when omitted (``mine`` for
+        MINE RULE, ``sql`` otherwise).  ``retries`` installs a per-job
+        retry policy overriding the service default.  A full queue
+        raises :class:`JobQueueFull`; an injected ``jobs.submit`` fault
+        lands the job in ``failed`` with the error recorded.
+        """
+        text = statement.strip().rstrip(";").strip()
+        if not text:
+            raise ValueError("empty statement")
+        if kind is None:
+            kind = "mine" if text.upper().startswith("MINE") else "sql"
+        if kind not in ("mine", "sql"):
+            raise ValueError(f"unknown job kind {kind!r}")
+        job = self.table.new_job(text, kind)
+        if retries is not None:
+            self._policies[job.id] = RetryPolicy(max_attempts=retries)
+        try:
+            faults.check("jobs.submit")
+            self.pool.submit(job.id)
+        except FaultError as exc:
+            self._policies.pop(job.id, None)
+            self.table.transition(job.id, FAILED, error=str(exc))
+            self._jobs_total.inc(status=FAILED)
+            return job
+        except queue.Full:
+            self._policies.pop(job.id, None)
+            self.table.transition(job.id, FAILED, error="job queue full")
+            self._jobs_total.inc(status=FAILED)
+            raise JobQueueFull(job) from None
+        self._queue_depth.set(self.pool.depth)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: queued jobs turn ``cancelled`` immediately,
+        running ones get the cooperative flag, terminal ones are left
+        untouched (idempotent)."""
+        return self.table.request_cancel(job_id)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.table.get(job_id)
+
+    def list(self, state: Optional[str] = None) -> List[Job]:
+        return self.table.list(state)
+
+    def wait(self, job_id: str, timeout: float = 30.0,
+             poll: float = 0.01) -> Job:
+        """Block until the job reaches a terminal state (tests/CLI)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.table.get(job_id)
+            if job is None:
+                raise KeyError(f"no such job: {job_id}")
+            if job.terminal:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {job.state} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service snapshot for ``/stats.json`` and ``.jobs``."""
+        return {
+            "counts": self.table.counts(),
+            "total": len(self.table),
+            "evicted": self.table.evicted,
+            "queue_depth": self.pool.depth,
+            "workers": self.pool.workers,
+            "workers_busy": self.pool.busy,
+        }
+
+    # -- execution (worker threads) -------------------------------------
+
+    def _execute(self, job_id: str) -> None:
+        job = self.table.try_start(job_id)
+        self._queue_depth.set(self.pool.depth)
+        if job is None:  # cancelled while queued
+            self._policies.pop(job_id, None)
+            return
+        self._workers_busy.set(self.pool.busy)
+        policy = self._policies.get(job_id) or self.retry_policy
+        if policy is None:
+            policy = RetryPolicy.single()
+        status = FAILED
+        started = time.perf_counter()
+        try:
+            result = policy.execute(
+                lambda: self._run_job(job, policy),
+                stage=f"jobs.run.{job_id}",
+            )
+            self.table.transition(job_id, DONE, result=result)
+            status = DONE
+        except RunCancelled:
+            self.table.transition(job_id, CANCELLED)
+            status = CANCELLED
+        except Exception as exc:
+            self.table.transition(
+                job_id, FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+            status = FAILED
+        finally:
+            elapsed = time.perf_counter() - started
+            self._policies.pop(job_id, None)
+            self._job_seconds.observe(elapsed, kind=job.kind, status=status)
+            self._jobs_total.inc(status=status)
+            self._workers_busy.set(max(0, self.pool.busy - 1))
+
+    def _run_job(self, job: Job, policy: RetryPolicy) -> Dict[str, Any]:
+        """One execution attempt (the unit the retry policy repeats)."""
+        faults.check(f"jobs.run.{job.id}")
+        cancel = self.table.cancel_hook(job.id)
+        if cancel():
+            raise RunCancelled(f"{job.id} cancelled before execution")
+        if job.kind == "mine":
+            return self._run_mine(job, policy, cancel)
+        return self._run_sql(job)
+
+    def _run_mine(self, job: Job, policy: RetryPolicy,
+                  cancel) -> Dict[str, Any]:
+        result = self.system.run(job.statement, retry=policy, cancel=cancel)
+        out = result.output_table
+        db = self.system.db
+        display_table = f"{out}_Display"
+        with db.rwlock.read_locked():
+            display = (
+                dump_table_text(db, display_table)
+                if db.catalog.has_table(display_table)
+                else None
+            )
+        rules = sorted(
+            (
+                sorted(rule.body),
+                sorted(rule.head),
+                round(rule.support, 9),
+                round(rule.confidence, 9),
+            )
+            for rule in result.rules
+        )
+        return {
+            "kind": "mine",
+            "output_table": out,
+            "rule_count": len(result.rules),
+            "rules": rules,
+            "display": display,
+            "run_id": result.run_id,
+            "preprocessing_reused": result.preprocessing_reused,
+        }
+
+    def _run_sql(self, job: Job) -> Dict[str, Any]:
+        result = self.system.db.execute(job.statement)
+        return {
+            "kind": "sql",
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "rowcount": result.rowcount,
+        }

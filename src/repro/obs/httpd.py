@@ -9,6 +9,9 @@ production service:
   failing (JSON body with the health snapshot either way)
 * ``GET /stats.json`` — registry snapshot + slow-query log + health
 * ``GET /trace.json`` — Chrome trace-event JSON of the session so far
+* ``/jobs...``        — the REST job API (submit / poll / result /
+  cancel), when an ``api`` router (:class:`repro.jobs.api.JobsApi`)
+  is mounted; POST and DELETE are accepted on those paths only
 
 Thread model: :class:`ThreadingHTTPServer` handles each scrape on its
 own thread; the registry, health state and slow log are internally
@@ -101,11 +104,15 @@ class MonitoringServer:
         trace: Optional[Callable[[], str]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        api: Optional[Any] = None,
     ):
         self.registry = registry
         self.health = health if health is not None else HealthState()
         self._stats = stats
         self._trace = trace
+        #: optional request router (``handle(method, path, body, query)
+        #: -> (code, payload) | None``); owns every /jobs path
+        self.api = api
         self.host = host
         self._requested_port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -168,6 +175,8 @@ class MonitoringServer:
             def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
                 path = self.path.split("?", 1)[0]
                 try:
+                    if self._maybe_api("GET"):
+                        return
                     if path == "/metrics":
                         self._send(
                             200,
@@ -204,7 +213,12 @@ class MonitoringServer:
                                     "/healthz",
                                     "/stats.json",
                                     "/trace.json",
-                                ],
+                                ]
+                                + (
+                                    ["/jobs"]
+                                    if server.api is not None
+                                    else []
+                                ),
                             },
                         )
                 except BrokenPipeError:  # scraper went away mid-answer
@@ -215,6 +229,50 @@ class MonitoringServer:
                         self._send_json(500, {"error": str(exc)})
                     except Exception:
                         pass
+
+            def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+                self._mutating("POST")
+
+            def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+                self._mutating("DELETE")
+
+            def _mutating(self, method: str) -> None:
+                try:
+                    if not self._maybe_api(method):
+                        self._send_json(
+                            404,
+                            {"error": f"{method} {self.path!r} not routed"},
+                        )
+                except BrokenPipeError:
+                    pass
+                except Exception as exc:
+                    try:
+                        self._send_json(500, {"error": str(exc)})
+                    except Exception:
+                        pass
+
+            def _maybe_api(self, method: str) -> bool:
+                """Offer the request to the mounted API router; True
+                when it produced the response."""
+                if server.api is None:
+                    return False
+                path, _, raw_query = self.path.partition("?")
+                query: Dict[str, str] = {}
+                if raw_query:
+                    for chunk in raw_query.split("&"):
+                        key, _, value = chunk.partition("=")
+                        if key:
+                            query[key] = value
+                body = None
+                length = int(self.headers.get("Content-Length") or 0)
+                if length:
+                    body = self.rfile.read(length)
+                response = server.api.handle(method, path, body, query)
+                if response is None:
+                    return False
+                code, payload = response
+                self._send_json(code, payload)
+                return True
 
             def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
                 self._send(

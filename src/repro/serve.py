@@ -1,4 +1,4 @@
-"""Serving mode: MINE RULE over stdin with a monitoring endpoint.
+"""Serving mode: MINE RULE over stdin + HTTP with a monitoring endpoint.
 
 ``python -m repro serve`` turns the shell into a long-running service:
 
@@ -6,21 +6,28 @@
   (``;``-terminated SQL / MINE RULE statements, dot meta commands) and
   results stream to stdout — one process can sit behind a pipe, a
   socket relay or a test harness;
+* statements also arrive over **HTTP** as jobs (:mod:`repro.jobs`):
+  ``POST /jobs`` submits, ``GET /jobs/<id>`` polls,
+  ``GET /jobs/<id>/result`` retrieves, ``DELETE /jobs/<id>`` cancels;
+  a bounded worker pool executes jobs concurrently against the same
+  database the stdin loop uses (``--job-workers`` sizes it);
 * a **monitoring HTTP server** (:mod:`repro.obs.httpd`) runs on a side
   thread: ``/metrics`` (Prometheus text), ``/healthz`` (503 while the
   last run failed), ``/stats.json`` (registry snapshot + slow-query
   log), ``/trace.json`` (Chrome trace of the session);
 * every statement is observed: per-statement SQL latency histograms,
-  per-Q preprocessor stage timings, core-operator counters, a
-  slow-query ring buffer, and (with ``--log-json``) one structured
-  JSON log line per statement on stderr.
+  per-Q preprocessor stage timings, core-operator counters, per-job
+  queue-depth/latency series, a slow-query ring buffer, and (with
+  ``--log-json``) one structured JSON log line per statement on
+  stderr.
 
 Quickstart::
 
     python -m repro serve --port 8077 --load purchase &
-    echo 'MINE RULE r AS SELECT ... ;' | ...   # statements on stdin
-    curl -s localhost:8077/metrics | grep repro_minerule_runs_total
-    curl -s localhost:8077/healthz
+    curl -s -X POST localhost:8077/jobs -d 'MINE RULE r AS SELECT ...'
+    curl -s localhost:8077/jobs/job-1
+    curl -s localhost:8077/jobs/job-1/result
+    curl -s localhost:8077/metrics | grep repro_job
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from repro import faults
 from repro.algorithms import ALGORITHMS
 from repro.cli import SCENARIOS, Shell
 from repro.faults import FaultSchedule, RetryPolicy
+from repro.jobs.api import JobsApi
+from repro.jobs.service import JobService
 from repro.obs.export import render_chrome_trace, write_chrome_trace
 from repro.obs.httpd import HealthState, MonitoringServer
 from repro.obs.jsonlog import JsonLogger
@@ -68,6 +77,8 @@ class MineRuleService:
         batch_size: Optional[int] = None,
         memory_budget: Optional[int] = None,
         packed_min_slots: Optional[int] = None,
+        job_workers: int = 4,
+        job_queue: int = 64,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = Tracer(
@@ -94,6 +105,17 @@ class MineRuleService:
         if scenario is not None:
             loader = SCENARIOS[scenario]
             loader(self.shell.db)
+        #: concurrent job execution against the same mining system the
+        #: stdin loop drives — jobs and stdin statements interleave
+        #: safely through the engine's reader/writer lock
+        self.jobs = JobService(
+            self.shell.system,
+            workers=job_workers,
+            queue_size=job_queue,
+            metrics=self.metrics,
+            retry_policy=retry_policy,
+        )
+        self.shell.jobs = self.jobs
         self.monitor = MonitoringServer(
             registry=self.metrics,
             health=self.health,
@@ -101,23 +123,27 @@ class MineRuleService:
             trace=lambda: render_chrome_trace(self.tracer),
             host=host,
             port=port,
+            api=JobsApi(self.jobs),
         )
 
     # ------------------------------------------------------------------
 
     def start(self) -> "MineRuleService":
+        self.jobs.start()
         self.monitor.start()
         if self.json_log is not None:
             self.json_log.log(
                 "serve.start",
                 url=self.monitor.url,
                 endpoints=["/metrics", "/healthz", "/stats.json",
-                           "/trace.json"],
+                           "/trace.json", "/jobs"],
+                job_workers=self.jobs.pool.workers,
             )
         return self
 
     def stop(self) -> None:
         self.monitor.stop()
+        self.jobs.stop()
         if self.json_log is not None:
             self.json_log.log("serve.stop")
 
@@ -136,6 +162,7 @@ class MineRuleService:
         """The ``/stats.json`` payload."""
         return {
             "health": self.health.snapshot(),
+            "jobs": self.jobs.stats(),
             "statements_executed": self.shell.db.statements_executed,
             "slow_queries": self.slowlog.as_dicts(),
             "slow_queries_total": self.slowlog.total_recorded,
@@ -207,6 +234,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="smallest bitmap universe for the packed word kernels",
     )
     parser.add_argument(
+        "--job-workers", type=int, default=4, metavar="N",
+        help="worker threads executing HTTP-submitted jobs",
+    )
+    parser.add_argument(
+        "--job-queue", type=int, default=64, metavar="N",
+        help="bounded job queue size (full queue answers 503)",
+    )
+    parser.add_argument(
         "--fault-schedule", default=None, metavar="SPEC",
         help="install a deterministic fault schedule (chaos drills)",
     )
@@ -242,12 +277,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_size=args.batch_size,
         memory_budget=args.memory_budget,
         packed_min_slots=args.packed_min_slots,
+        job_workers=args.job_workers,
+        job_queue=args.job_queue,
     )
     service.start()
     print(
         f"repro serve — monitoring on {service.monitor.url} "
-        f"(/metrics /healthz /stats.json /trace.json); "
-        f"statements on stdin, ; terminated",
+        f"(/metrics /healthz /stats.json /trace.json /jobs); "
+        f"statements on stdin, ; terminated; "
+        f"POST /jobs submits statements over HTTP",
         file=sys.stderr,
         flush=True,
     )

@@ -26,6 +26,7 @@ Deliberate deviations, documented:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -35,7 +36,7 @@ from repro.sqlengine.errors import SqlError
 from repro.sqlengine.result import Result
 
 apilevel = "2.0"
-threadsafety = 1  # threads may share the module, not connections
+threadsafety = 2  # threads may share the module and connections
 paramstyle = "named"
 
 
@@ -75,21 +76,31 @@ class Connection:
         self._db = database
         self._closed = False
         self._prepared: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+        # Guards the prepared-statement LRU: job workers share one
+        # connection, and an unguarded move_to_end/popitem pair can
+        # corrupt the OrderedDict under concurrent prepare().
+        self._prepared_lock = threading.Lock()
 
     def prepare(self, operation: str) -> PreparedStatement:
         """Parse *operation* once, caching the handle per connection."""
         self._check_open()
-        cached = self._prepared.get(operation)
-        if cached is not None:
-            self._prepared.move_to_end(operation)
-            return cached
+        with self._prepared_lock:
+            cached = self._prepared.get(operation)
+            if cached is not None:
+                self._prepared.move_to_end(operation)
+                return cached
         try:
             statement = self._db.prepare(operation)
         except SqlError as exc:
             raise DatabaseError(str(exc)) from exc
-        self._prepared[operation] = statement
-        while len(self._prepared) > self._PREPARED_CACHE_SIZE:
-            self._prepared.popitem(last=False)
+        with self._prepared_lock:
+            existing = self._prepared.get(operation)
+            if existing is not None:
+                self._prepared.move_to_end(operation)
+                return existing
+            self._prepared[operation] = statement
+            while len(self._prepared) > self._PREPARED_CACHE_SIZE:
+                self._prepared.popitem(last=False)
         return statement
 
     @property

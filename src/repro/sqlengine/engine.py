@@ -19,11 +19,24 @@ the engine must not re-pay lexing, parsing and planning each time:
 Both are observable through :attr:`Database.cache_stats`;
 :meth:`Database.prepare` exposes the prepared-statement handle used by
 the Preprocessor and the DB-API cursor.
+
+Concurrency (the jobs layer runs statements from worker threads):
+
+* every statement executes under the database's :class:`RWLock` —
+  plain SELECTs on the shared side, anything that mutates state
+  (DML, DDL, ``SELECT .. INTO``) on the exclusive side;
+* the statement and plan caches (and their counters) are guarded by
+  one cache lock, so concurrent ``prepare()``/``execute()`` calls
+  neither corrupt the LRU order nor lose counter increments;
+* the current statement's host-variable bindings are **thread-local**
+  — two threads scanning through one cached plan each see their own
+  parameters.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace as _dc_replace
@@ -37,6 +50,7 @@ from repro.sqlengine.catalog import Catalog, Index, View
 from repro.sqlengine.compiler import BoundExpr, ExpressionCompiler
 from repro.sqlengine.errors import ExecutionError
 from repro.sqlengine.evaluator import Env, Evaluator, Frame, compare
+from repro.sqlengine.locks import RWLock
 from repro.sqlengine.operators import Filter, GroupAggregate, Operator
 from repro.sqlengine.parser import parse_sql, split_statements
 from repro.sqlengine.planner import SelectPlanner, conjoin
@@ -314,9 +328,26 @@ class Database:
         #: per-operator instrumentation for the statement in flight
         #: (installed by :func:`repro.sqlengine.explain.analyze_statement`)
         self._analyze = None
-        self._params: Dict[str, Any] = {}
+        #: reader/writer statement guard: SELECT scans share it, DML/
+        #: DDL/SELECT INTO hold it exclusively (jobs-layer concurrency)
+        self.rwlock = RWLock()
+        #: guards the statement/plan caches, their LRU order, the
+        #: cache_stats counters and statements_executed
+        self._cache_lock = threading.RLock()
+        #: host variables of the statement currently executing — one
+        #: binding per thread, so concurrent readers sharing a cached
+        #: plan cannot clobber each other's parameters
+        self._local = threading.local()
         self._statement_cache: "OrderedDict[str, ast.Statement]" = OrderedDict()
         self._plan_cache: "OrderedDict[int, _SelectPlan]" = OrderedDict()
+
+    @property
+    def _params(self) -> Dict[str, Any]:
+        return getattr(self._local, "params", {})
+
+    @_params.setter
+    def _params(self, value: Dict[str, Any]) -> None:
+        self._local.params = value
 
     # ------------------------------------------------------------------
     # public API
@@ -371,11 +402,8 @@ class Database:
         — callers executing a bare AST may omit it.
         """
         faults.check("engine.execute")
-        self.statements_executed += 1
-        merged = dict(self.variables)
-        if params:
-            merged.update(params)
-        self._params = merged
+        with self._cache_lock:
+            self.statements_executed += 1
         tracer = self.tracer
         im = self._im
         if im is None and self.slowlog is None:
@@ -383,9 +411,9 @@ class Database:
                 with tracer.span(
                     f"engine.{type(statement).__name__}", category="engine"
                 ):
-                    return self._dispatch_statement(statement)
-            return self._dispatch_statement(statement)
-        return self._execute_instrumented(statement, tracer, im, sql)
+                    return self._dispatch_statement(statement, params)
+            return self._dispatch_statement(statement, params)
+        return self._execute_instrumented(statement, tracer, im, sql, params)
 
     def _execute_instrumented(
         self,
@@ -393,6 +421,7 @@ class Database:
         tracer: Any,
         im: Optional[_EngineInstruments],
         sql: Optional[str],
+        params: Optional[Dict[str, Any]] = None,
     ) -> Result:
         """The metered statement path: latency histogram, per-kind
         totals, rows returned, slow-query log."""
@@ -400,9 +429,9 @@ class Database:
         started = time.perf_counter()
         if tracer.enabled:
             with tracer.span(f"engine.{kind}", category="engine"):
-                result = self._dispatch_statement(statement)
+                result = self._dispatch_statement(statement, params)
         else:
-            result = self._dispatch_statement(statement)
+            result = self._dispatch_statement(statement, params)
         elapsed = time.perf_counter() - started
         if im is not None:
             im.statement_seconds.observe(elapsed, kind=kind)
@@ -414,7 +443,30 @@ class Database:
             slowlog.record(f"sql.{kind}", elapsed, detail=sql or "")
         return result
 
-    def _dispatch_statement(self, statement: ast.Statement) -> Result:
+    def _statement_guard(self, statement: ast.Statement):
+        """The lock side a statement runs under: plain SELECTs share
+        the read side; everything that mutates engine state (DML, DDL,
+        ``SELECT .. INTO`` host-variable writes) is exclusive."""
+        if isinstance(statement, ast.Select) and not statement.into_vars:
+            return self.rwlock.read_locked()
+        return self.rwlock.write_locked()
+
+    def _dispatch_statement(
+        self,
+        statement: ast.Statement,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Result:
+        with self._statement_guard(statement):
+            # Bind host variables inside the guard: a concurrent
+            # SELECT INTO may be mutating self.variables until the
+            # write lock drains.
+            merged = dict(self.variables)
+            if params:
+                merged.update(params)
+            self._params = merged
+            return self._dispatch_unlocked(statement)
+
+    def _dispatch_unlocked(self, statement: ast.Statement) -> Result:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement)
         if isinstance(statement, ast.CreateTable):
@@ -471,8 +523,9 @@ class Database:
 
     def clear_caches(self) -> None:
         """Drop every cached parse and plan (counters are kept)."""
-        self._statement_cache.clear()
-        self._plan_cache.clear()
+        with self._cache_lock:
+            self._statement_cache.clear()
+            self._plan_cache.clear()
 
     # -- convenience -----------------------------------------------------
 
@@ -512,22 +565,32 @@ class Database:
     # ------------------------------------------------------------------
 
     def _parse_statement(self, sql: str) -> ast.Statement:
-        cache = self._statement_cache
         im = self._im
-        statement = cache.get(sql)
-        if statement is not None:
-            self.cache_stats.statement_hits += 1
+        with self._cache_lock:
+            cache = self._statement_cache
+            statement = cache.get(sql)
+            if statement is not None:
+                self.cache_stats.statement_hits += 1
+                if im is not None:
+                    im.cache_events.inc(cache="statement", outcome="hit")
+                cache.move_to_end(sql)
+                return statement
+            self.cache_stats.statement_misses += 1
             if im is not None:
-                im.cache_events.inc(cache="statement", outcome="hit")
-            cache.move_to_end(sql)
-            return statement
-        self.cache_stats.statement_misses += 1
-        if im is not None:
-            im.cache_events.inc(cache="statement", outcome="miss")
+                im.cache_events.inc(cache="statement", outcome="miss")
+        # Parse outside the lock (pure function of the text); first
+        # writer wins so every thread keeps getting the same AST object
+        # for the same SQL text (the plan cache keys on identity).
         statement = parse_sql(sql)
-        cache[sql] = statement
-        while len(cache) > self.options.statement_cache_size:
-            cache.popitem(last=False)
+        with self._cache_lock:
+            cache = self._statement_cache
+            existing = cache.get(sql)
+            if existing is not None:
+                cache.move_to_end(sql)
+                return existing
+            cache[sql] = statement
+            while len(cache) > self.options.statement_cache_size:
+                cache.popitem(last=False)
         return statement
 
     def _select_plan(self, select: ast.Select) -> _SelectPlan:
@@ -540,28 +603,29 @@ class Database:
         strong reference to its Select, which pins the id.
         """
         key = id(select)
-        entry = self._plan_cache.get(key)
         im = self._im
-        if entry is not None and entry.select is select:
-            if entry.catalog_version == self.catalog.version:
-                self.cache_stats.plan_hits += 1
+        with self._cache_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None and entry.select is select:
+                if entry.catalog_version == self.catalog.version:
+                    self.cache_stats.plan_hits += 1
+                    if im is not None:
+                        im.cache_events.inc(cache="plan", outcome="hit")
+                    self._plan_cache.move_to_end(key)
+                    return entry
+                self.cache_stats.plan_invalidations += 1
                 if im is not None:
-                    im.cache_events.inc(cache="plan", outcome="hit")
-                self._plan_cache.move_to_end(key)
-                return entry
-            self.cache_stats.plan_invalidations += 1
+                    im.cache_events.inc(cache="plan", outcome="invalidation")
+                del self._plan_cache[key]
+            self.cache_stats.plan_misses += 1
             if im is not None:
-                im.cache_events.inc(cache="plan", outcome="invalidation")
-            del self._plan_cache[key]
-        self.cache_stats.plan_misses += 1
-        if im is not None:
-            im.cache_events.inc(cache="plan", outcome="miss")
-        plan = self._build_select_plan(select)
-        if self.options.plan_cache and plan.cacheable:
-            self._plan_cache[key] = plan
-            while len(self._plan_cache) > self.options.plan_cache_size:
-                self._plan_cache.popitem(last=False)
-        return plan
+                im.cache_events.inc(cache="plan", outcome="miss")
+            plan = self._build_select_plan(select)
+            if self.options.plan_cache and plan.cacheable:
+                self._plan_cache[key] = plan
+                while len(self._plan_cache) > self.options.plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+            return plan
 
     def _build_select_plan(self, select: ast.Select) -> _SelectPlan:
         evaluator = Evaluator(self, self._params)
@@ -677,9 +741,10 @@ class Database:
         if self._analyze is not None:
             self._analyze.attach(plan)
         evaluator = plan.evaluator
-        # Rebind the statement's host variables: a cached plan must see
-        # the parameters of *this* execution.
-        evaluator._params = self._params
+        # Host variables resolve through the database's thread-local
+        # params at call time (Evaluator._params is a property), so a
+        # cached plan sees the parameters of *this* execution without
+        # any rebinding — even when two threads share the plan.
 
         if plan.root is None:
             # SELECT without FROM: one conceptual row.

@@ -351,9 +351,16 @@ class Evaluator:
     the host-variable bindings of the current statement.
     """
 
-    def __init__(self, database: "Any", params: Dict[str, Any]):
+    def __init__(self, database: "Any", params: Optional[Dict[str, Any]] = None):
         self._db = database
-        self._params = params
+
+    @property
+    def _params(self) -> Dict[str, Any]:
+        # Host variables live in the database's *thread-local* binding:
+        # evaluators are cached inside plans and shared by every thread
+        # executing that plan, so each lookup must resolve against the
+        # statement currently running on *this* thread.
+        return self._db._params
 
     # -- public API --------------------------------------------------------
 

@@ -1,0 +1,129 @@
+"""Reader/writer locking for concurrent statement execution.
+
+The jobs layer (:mod:`repro.jobs`) executes statements from a pool of
+worker threads against one shared :class:`~repro.sqlengine.engine.Database`.
+The engine guards every statement with this lock: plain SELECTs take
+the shared (read) side so concurrent scans proceed in parallel, while
+DML/DDL/``SELECT .. INTO`` take the exclusive (write) side — a scan can
+never observe a half-applied mutation (torn read) and two mutations can
+never interleave (lost update).
+
+Semantics:
+
+* **Reentrant.**  A thread holding the write lock may re-acquire both
+  sides (a MINE RULE run holds the write lock for its whole pipeline
+  while every inner statement re-enters), and a reader may re-acquire
+  the read side.
+* **Writer preference.**  A waiting writer blocks *new* readers, so a
+  stream of scans cannot starve DML; reentrant readers are exempt
+  (blocking them would deadlock the thread against itself).
+* **No upgrades.**  Read→write upgrade deadlocks by construction (two
+  upgrading readers wait on each other forever), so it raises
+  immediately instead.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterator, Optional
+
+
+class RWLock:
+    """A reentrant reader/writer lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: thread ident -> read-side depth (includes reads nested
+        #: under that thread's own write lock)
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side ------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # reentrant (or nested under our own write lock)
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me)
+            if depth is None:
+                raise RuntimeError("release_read without acquire_read")
+            if depth == 1:
+                del self._readers[me]
+                self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # -- write side -----------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read->write lock upgrade would deadlock; acquire "
+                    "the write lock first"
+                )
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a non-owner thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers -----------------------------------------------
+
+    @contextlib.contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- observability --------------------------------------------------
+
+    def status(self) -> Dict[str, int]:
+        """Snapshot for diagnostics: active readers, writer depth,
+        queued writers."""
+        with self._cond:
+            return {
+                "readers": sum(self._readers.values()),
+                "writer_depth": self._writer_depth,
+                "waiting_writers": self._waiting_writers,
+            }

@@ -30,9 +30,10 @@ counters and the text report.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import faults
 from repro.algorithms import FrequentItemsetMiner, get_algorithm
@@ -63,6 +64,20 @@ from repro.parallel import ShardedMiner
 from repro.sqlengine.columnar import validate_storage
 from repro.sqlengine.engine import Database
 from repro.sqlengine.render import render_expr
+
+
+class RunCancelled(Exception):
+    """A run's ``cancel`` hook fired at a stage boundary.
+
+    Raised by :meth:`MiningSystem.run` when the caller-supplied cancel
+    callable returns True.  Cancellation is cooperative and only
+    happens *between* pipeline stages, so the database is always left
+    consistent: either a stage completed fully or it never started.
+    A cancelled run keeps its crash checkpoint, so a later
+    ``run(resume=True)`` of the same statement picks up where it
+    stopped.  Cancellation is not a health failure — the jobs layer
+    reports it as a distinct terminal state.
+    """
 
 
 @dataclass
@@ -222,6 +237,13 @@ class MiningSystem:
         self._preprocess_cache: Dict[tuple, Tuple[Workspace, int, int]] = {}
         #: normalized statement text -> checkpoint of a crashed run
         self._checkpoints: Dict[str, StageCheckpoint] = {}
+        #: serializes whole MINE RULE runs: the pipeline mutates shared
+        #: system state (_executions, reuse cache, checkpoints, host
+        #: variables, algorithm.representation), so concurrent job
+        #: workers take this and the engine's write lock for the whole
+        #: run — making every run bit-identical to serial execution
+        #: while plain SELECT jobs still share the engine's read side
+        self._run_lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
@@ -234,6 +256,7 @@ class MiningSystem:
         statement_text: str,
         resume: bool = False,
         retry: Optional[RetryPolicy] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> MiningResult:
         """Run one MINE RULE statement end to end.
 
@@ -244,6 +267,11 @@ class MiningSystem:
         text* left behind and skips its completed stages — provided the
         checkpoint's recorded encoded tables are still intact; a stale
         checkpoint is discarded and the run starts from scratch.
+
+        ``cancel`` is a zero-argument callable polled at every stage
+        boundary; once it returns True the run raises
+        :class:`RunCancelled` (a cooperative cancel, so the database
+        stays consistent — see the exception's docstring).
         """
         policy = retry if retry is not None else self.retry_policy
         if policy is None:
@@ -258,7 +286,7 @@ class MiningSystem:
             or health is not None
         )
         if not observed:
-            return self._run_pipeline(statement_text, resume, policy)
+            return self._run_pipeline(statement_text, resume, policy, cancel)
 
         compact = " ".join(statement_text.split())
         if health is not None:
@@ -273,10 +301,21 @@ class MiningSystem:
                     statement=compact[:120],
                     run=self._executions + 1,
                 ):
-                    result = self._run_pipeline(statement_text, resume, policy)
+                    result = self._run_pipeline(
+                        statement_text, resume, policy, cancel
+                    )
             else:
-                result = self._run_pipeline(statement_text, resume, policy)
+                result = self._run_pipeline(
+                    statement_text, resume, policy, cancel
+                )
             status = "ok"
+        except RunCancelled:
+            # Not a failure: the caller asked the run to stop.  The
+            # health endpoint must not flip to 503 over it.
+            status = "cancelled"
+            if health is not None:
+                health.success()
+            raise
         except Exception as exc:
             if health is not None:
                 health.failure(exc)
@@ -303,8 +342,35 @@ class MiningSystem:
         return result
 
     def _run_pipeline(
-        self, statement_text: str, resume: bool, policy: RetryPolicy
+        self,
+        statement_text: str,
+        resume: bool,
+        policy: RetryPolicy,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> MiningResult:
+        # One run at a time: the run lock serializes concurrent job
+        # workers, and the engine's write lock keeps every SQL job
+        # (even read-only scans) out of the pipeline's way while the
+        # encoded tables are in flux.
+        with self._run_lock, self.db.rwlock.write_locked():
+            return self._run_pipeline_locked(
+                statement_text, resume, policy, cancel
+            )
+
+    @staticmethod
+    def _check_cancel(cancel: Optional[Callable[[], bool]],
+                      stage: str) -> None:
+        if cancel is not None and cancel():
+            raise RunCancelled(f"run cancelled before {stage}")
+
+    def _run_pipeline_locked(
+        self,
+        statement_text: str,
+        resume: bool,
+        policy: RetryPolicy,
+        cancel: Optional[Callable[[], bool]] = None,
+    ) -> MiningResult:
+        self._check_cancel(cancel, "translator")
         flow = ProcessFlow(tracer=self.tracer)
         resilience = ResilienceStats()
         schedule = faults.active()
@@ -357,13 +423,16 @@ class MiningSystem:
             )
 
         try:
+            self._check_cancel(cancel, "preprocessor")
             program, stats, reused = self._preprocess_stage(
                 program, statement_text, flow, checkpoint, policy,
                 resilience, resumed, on_retry,
             )
+            self._check_cancel(cancel, "core")
             encoded_rules, core_stats = self._core_stage(
                 program, flow, checkpoint, policy, resilience, on_retry
             )
+            self._check_cancel(cancel, "postprocessor")
             decoded = self._postprocess_stage(
                 program, encoded_rules, flow, checkpoint, policy,
                 resilience, on_retry,

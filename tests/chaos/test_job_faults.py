@@ -1,0 +1,143 @@
+"""Chaos at the job layer: faults at submit and run sites.
+
+The job service compiles two injection sites of its own on top of the
+pipeline's — ``jobs.submit`` (between recording the job and enqueueing
+it) and ``jobs.run.<id>`` (at every execution attempt of job ``<id>``,
+so a ``jobs.run.*`` glob kills or delays whole attempts).  The
+invariants mirrored from the pipeline chaos suite:
+
+* a killed submission lands in ``failed`` with the fault recorded as
+  the job error, and leaves the engine clean for the next job;
+* a killed attempt under a retry policy re-runs and the final output
+  is **bit-identical** to the fault-free baseline;
+* exhausted retries surface the fault in ``job.error``; the database
+  stays consistent and a clean rerun reproduces the baseline;
+* cancelling a mid-run job (window widened with a latency fault)
+  lands in ``cancelled`` without corrupting the source or output
+  relations.
+"""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultSchedule, RetryPolicy
+from repro.jobs import CANCELLED, DONE, FAILED, QUEUED, JobService
+from tests.chaos.conftest import (
+    NO_SLEEP,
+    STATEMENTS,
+    fresh_system,
+    output_fingerprint,
+)
+
+#: fast retries: no backoff sleeps in the chaos loop
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+def make_service(**kwargs):
+    system = fresh_system()
+    kwargs.setdefault("retry_policy", FAST_RETRY)
+    return system, JobService(system, workers=2, queue_size=32, **kwargs)
+
+
+def job_rule_set(job):
+    """Job result rules in the baseline ``rule_set()`` shape."""
+    return {
+        (frozenset(body), frozenset(head), support, confidence)
+        for body, head, support, confidence in job.result["rules"]
+    }
+
+
+def assert_matches_baseline(system, job, baseline):
+    expected_rules, expected_fingerprint = baseline
+    assert job_rule_set(job) == expected_rules
+    assert (
+        output_fingerprint(system, job.result["output_table"])
+        == expected_fingerprint
+    )
+
+
+def test_submit_fault_lands_the_job_in_failed(baselines):
+    system, service = make_service()
+    with service:
+        with faults.injected(FaultSchedule().arm("jobs.submit", call=1)):
+            job = service.submit(STATEMENTS["simple"])
+            assert job.state == FAILED
+            assert "jobs.submit" in job.error
+            assert service.get(job.id).state == FAILED
+
+        # the fault fired before the engine saw the statement: the next
+        # submission runs clean and reproduces the baseline
+        done = service.wait(service.submit(STATEMENTS["simple"]).id,
+                            timeout=120)
+        assert done.state == DONE
+        assert_matches_baseline(system, done, baselines["simple"])
+
+
+@pytest.mark.parametrize("name", ["simple", "paper"])
+def test_killed_attempt_is_retried_bit_identical(baselines, name):
+    """One ``jobs.run.<id>`` fault kills the first attempt; the retry
+    policy re-runs it and the output must match the fault-free
+    baseline byte for byte."""
+    system, service = make_service()
+    with service:
+        schedule = FaultSchedule(sleep=NO_SLEEP).arm("jobs.run.*", call=1)
+        with faults.injected(schedule):
+            job = service.submit(STATEMENTS[name], retries=3)
+            done = service.wait(job.id, timeout=120)
+        assert done.state == DONE, done.error
+        assert len(schedule.fired) == 1
+        assert_matches_baseline(system, done, baselines[name])
+
+
+def test_exhausted_retries_record_the_fault(baselines):
+    system, service = make_service()
+    with service:
+        schedule = FaultSchedule(sleep=NO_SLEEP).arm(
+            "jobs.run.*", call=1, times=5
+        )
+        with faults.injected(schedule):
+            job = service.submit(STATEMENTS["simple"], retries=2)
+            failed = service.wait(job.id, timeout=120)
+        assert failed.state == FAILED
+        assert "FaultError" in failed.error
+        assert "jobs.run" in failed.error
+
+        # every attempt died at stage entry, so the database is clean:
+        # a fault-free rerun reproduces the baseline
+        done = service.wait(service.submit(STATEMENTS["simple"]).id,
+                            timeout=120)
+        assert done.state == DONE
+        assert_matches_baseline(system, done, baselines["simple"])
+
+
+def test_cancel_mid_run_leaves_the_database_consistent(baselines):
+    """A latency fault parks the run inside preprocessing; the cancel
+    arrives mid-run, the job lands in ``cancelled``, and the source +
+    output relations stay consistent for a clean rerun."""
+    system, service = make_service()
+    with service:
+        with faults.injected(
+            FaultSchedule.parse("preprocessor.Q*:1@0.8")
+        ):
+            job = service.submit(STATEMENTS["paper"])
+            deadline = time.monotonic() + 30
+            while (
+                service.get(job.id).state == QUEUED
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            service.cancel(job.id)
+            finished = service.wait(job.id, timeout=120)
+        assert finished.state == CANCELLED
+        assert finished.result is None
+
+        # source relation untouched by the aborted run
+        assert system.db.query("SELECT COUNT(*) FROM Purchase") == [(8,)]
+
+        # a clean rerun of the same statement reproduces the baseline
+        done = service.wait(service.submit(STATEMENTS["paper"]).id,
+                            timeout=120)
+        assert done.state == DONE
+        assert_matches_baseline(system, done, baselines["paper"])

@@ -1,0 +1,267 @@
+"""The job REST API end-to-end, over real HTTP sockets.
+
+The unit suite drives :class:`JobsApi` directly; this suite boots the
+full serving stack (:class:`MineRuleService` → monitoring HTTP server
+with the jobs router mounted) and talks to it the way a client would:
+``urllib`` requests against the loopback port.  Covered here:
+
+* submit a golden Appendix-A MINE RULE statement over ``POST /jobs``,
+  poll to ``done``, and compare the result display **byte-for-byte**
+  against the committed golden file;
+* raw-body SQL submission, listing with state filters, validation
+  errors, 404/405/409 behaviour on the wire;
+* ``DELETE`` of a running job (widened with a latency fault) lands in
+  ``cancelled`` and leaves the engine able to rerun the statement;
+* the job metrics series show up on the shared ``/metrics`` scrape;
+* the stdin statement protocol keeps working next to the HTTP API.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultSchedule
+from repro.serve import MineRuleService
+from tests.integration.test_golden_outputs import GOLDEN_STATEMENTS
+from tests.integration.test_monitoring_server import fetch, parse_prometheus
+
+GOLDEN_DISPLAY = (
+    Path(__file__).parent
+    / "golden"
+    / "simple_associations__SimpleAssociations_Display.golden.txt"
+)
+
+TERMINAL_STATES = {"done", "failed", "cancelled"}
+
+
+def request(method, url, payload=None):
+    """(status, decoded JSON).  dict/list payloads go as JSON, strings
+    as a raw statement body; non-2xx statuses don't raise."""
+    data = None
+    headers = {}
+    if isinstance(payload, (dict, list)):
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    elif payload is not None:
+        data = payload.encode()
+        headers["Content-Type"] = "text/plain"
+    req = urllib.request.Request(url, data=data, method=method, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        body = err.read().decode()
+        try:
+            return err.code, json.loads(body)
+        except json.JSONDecodeError:
+            return err.code, body
+
+
+def wait_job(base, job_id, timeout=120, until=TERMINAL_STATES):
+    """Poll ``GET /jobs/<id>`` until the state is in *until*."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = request("GET", f"{base}/jobs/{job_id}")
+        assert status == 200, payload
+        job = payload["job"]
+        if job["state"] in until:
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never reached {until}")
+
+
+@pytest.fixture
+def service():
+    svc = MineRuleService(scenario="purchase", port=0)
+    with svc:
+        yield svc
+
+
+@pytest.fixture
+def base(service):
+    return service.monitor.url
+
+
+def test_mine_job_matches_golden_display(base):
+    status, payload = request(
+        "POST",
+        base + "/jobs",
+        {"statement": GOLDEN_STATEMENTS["simple_associations"]},
+    )
+    assert status == 201, payload
+    job = payload["job"]
+    assert job["kind"] == "mine"
+    assert job["state"] in ("queued", "running", "done")
+
+    done = wait_job(base, job["id"])
+    assert done["state"] == "done", done.get("error")
+
+    status, payload = request("GET", f"{base}/jobs/{job['id']}/result")
+    assert status == 200
+    result = payload["job"]["result"]
+    assert result["kind"] == "mine"
+    assert result["output_table"] == "SimpleAssociations"
+    assert result["rule_count"] == len(result["rules"]) > 0
+    assert result["display"] == GOLDEN_DISPLAY.read_text(encoding="utf-8")
+
+
+def test_sql_job_with_raw_body(base):
+    status, payload = request(
+        "POST", base + "/jobs", "SELECT COUNT(*) AS n FROM Purchase"
+    )
+    assert status == 201, payload
+    job = wait_job(base, payload["job"]["id"])
+    assert job["state"] == "done"
+    status, payload = request("GET", f"{base}/jobs/{job['id']}/result")
+    assert status == 200
+    result = payload["job"]["result"]
+    assert result["kind"] == "sql"
+    assert result["rows"] == [[8]]
+    assert result["columns"] == ["n"]
+
+
+def test_listing_filters_and_stats(base):
+    for _ in range(3):
+        _, payload = request("POST", base + "/jobs", "SELECT tr FROM Purchase")
+        wait_job(base, payload["job"]["id"])
+
+    status, payload = request("GET", base + "/jobs")
+    assert status == 200
+    assert len(payload["jobs"]) == 3
+    assert payload["stats"]["counts"]["done"] == 3
+    assert payload["stats"]["workers"] >= 1
+
+    status, payload = request("GET", base + "/jobs?state=done")
+    assert status == 200
+    assert len(payload["jobs"]) == 3
+
+    status, payload = request("GET", base + "/jobs?state=failed")
+    assert status == 200
+    assert payload["jobs"] == []
+
+    status, payload = request("GET", base + "/jobs?state=bogus")
+    assert status == 400
+    assert "states" in payload
+
+
+def test_wire_level_error_statuses(base):
+    # empty body
+    status, payload = request("POST", base + "/jobs", "")
+    assert status == 400
+
+    # JSON body without a statement
+    status, payload = request("POST", base + "/jobs", {"kind": "sql"})
+    assert status == 400
+    assert "statement" in payload["error"]
+
+    # unknown job everywhere
+    for method, path in (
+        ("GET", "/jobs/job-999"),
+        ("GET", "/jobs/job-999/result"),
+        ("DELETE", "/jobs/job-999"),
+    ):
+        status, payload = request(method, base + path)
+        assert status == 404, (method, path)
+
+    # wrong method on the collection and on a member
+    status, _ = request("DELETE", base + "/jobs")
+    assert status == 405
+    status, _ = request("POST", base + "/jobs/job-1/result")
+    assert status == 405
+
+    # a failed job reports its error through the record
+    _, payload = request("POST", base + "/jobs", "SELECT nope FROM missing")
+    job = wait_job(base, payload["job"]["id"])
+    assert job["state"] == "failed"
+    assert job["error"]
+
+    # ... and its result endpoint answers 409 with the record
+    status, payload = request("GET", f"{base}/jobs/{job['id']}/result")
+    assert status == 409
+    assert payload["job"]["state"] == "failed"
+
+
+def test_delete_cancels_a_running_mine_job(base, service):
+    """A latency fault parks the run inside preprocessing long enough
+    to cancel it over HTTP; the job must land in ``cancelled`` and the
+    engine must stay healthy for a clean rerun."""
+    faults.install(FaultSchedule.parse("preprocessor.Q1:1@1.5"))
+    try:
+        _, payload = request(
+            "POST",
+            base + "/jobs",
+            {"statement": GOLDEN_STATEMENTS["simple_associations"]},
+        )
+        job_id = payload["job"]["id"]
+        running = wait_job(base, job_id, until={"running"} | TERMINAL_STATES)
+        assert running["state"] == "running"
+
+        status, payload = request("DELETE", base + f"/jobs/{job_id}")
+        assert status == 200
+
+        cancelled = wait_job(base, job_id)
+        assert cancelled["state"] == "cancelled"
+        status, _ = request("GET", f"{base}/jobs/{job_id}/result")
+        assert status == 409
+    finally:
+        faults.uninstall()
+
+    # a cancelled run is not a health failure, and the statement reruns
+    status, body = fetch(base + "/healthz")
+    assert status == 200
+
+    _, payload = request(
+        "POST",
+        base + "/jobs",
+        {"statement": GOLDEN_STATEMENTS["simple_associations"]},
+    )
+    rerun = wait_job(base, payload["job"]["id"])
+    assert rerun["state"] == "done"
+
+
+def test_job_series_on_the_shared_metrics_scrape(base):
+    _, payload = request(
+        "POST",
+        base + "/jobs",
+        {"statement": GOLDEN_STATEMENTS["simple_associations"]},
+    )
+    wait_job(base, payload["job"]["id"])
+    _, payload = request("POST", base + "/jobs", "SELECT tr FROM Purchase")
+    wait_job(base, payload["job"]["id"])
+
+    status, body = fetch(base + "/metrics")
+    assert status == 200
+    types, samples = parse_prometheus(body)
+    assert types["repro_jobs_queue_depth"] == "gauge"
+    assert types["repro_job_seconds"] == "histogram"
+    assert types["repro_jobs_total"] == "counter"
+
+    observed = {
+        (labels["kind"], labels["status"])
+        for labels, _ in samples["repro_job_seconds_count"]
+    }
+    assert ("mine", "done") in observed
+    assert ("sql", "done") in observed
+    totals = dict(
+        (labels["status"], value)
+        for labels, value in samples["repro_jobs_total"]
+    )
+    assert totals["done"] == 2.0
+
+
+def test_stdin_protocol_still_works_next_to_http(base, service):
+    """The line-oriented statement feed and the REST API share one
+    engine: a table created over stdin is visible to an HTTP job."""
+    assert service.feed("CREATE TABLE FromStdin (v INTEGER);\n") is not None
+    assert service.feed("INSERT INTO FromStdin VALUES (42);\n") is not None
+
+    _, payload = request("POST", base + "/jobs", "SELECT v FROM FromStdin")
+    job = wait_job(base, payload["job"]["id"])
+    assert job["state"] == "done"
+    status, payload = request("GET", f"{base}/jobs/{job['id']}/result")
+    assert payload["job"]["result"]["rows"] == [[42]]

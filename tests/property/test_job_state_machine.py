@@ -1,0 +1,111 @@
+"""Property: the job state machine never reaches an invalid state.
+
+Hypothesis drives random event sequences (submit / start / finish /
+fail / cancel / requeue) against a :class:`JobTable` next to a pure
+reference model of the TRANSITIONS relation.  Invariants:
+
+* every accepted transition is an edge of TRANSITIONS — the table and
+  the model agree on acceptance and on the resulting state;
+* terminal states are sticky: once ``done``/``failed``/``cancelled``,
+  every further event is rejected and the state never changes;
+* the attempt counter equals the number of accepted starts;
+* a cancel on a queued job is immediate, on a running job it only sets
+  the cooperative flag, and on a terminal job it is a no-op.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL,
+    TRANSITIONS,
+    InvalidTransition,
+    JobTable,
+)
+
+#: event -> target state of the direct-transition events
+EVENTS = {
+    "start": RUNNING,
+    "finish": DONE,
+    "fail": FAILED,
+    "cancel_hard": CANCELLED,
+    "requeue": QUEUED,
+}
+
+event_strategy = st.sampled_from(sorted(EVENTS) + ["request_cancel"])
+
+
+@settings(max_examples=200, deadline=None)
+@given(events=st.lists(event_strategy, min_size=0, max_size=30))
+def test_random_event_sequences_respect_the_state_machine(events):
+    table = JobTable()
+    job = table.new_job("SELECT 1", "sql")
+    model_state = QUEUED
+    accepted_starts = 0
+
+    for event in events:
+        if event == "request_cancel":
+            before = table.get(job.id).state
+            record = table.request_cancel(job.id)
+            if before == QUEUED:
+                model_state = CANCELLED
+                assert record.state == CANCELLED
+            elif before == RUNNING:
+                assert record.state == RUNNING
+                assert record.cancel_requested
+            else:
+                assert before in TERMINAL
+                assert record.state == before  # sticky no-op
+            continue
+
+        target = EVENTS[event]
+        legal = target in TRANSITIONS[model_state]
+        if legal:
+            record = table.transition(job.id, target)
+            model_state = target
+            if target == RUNNING:
+                accepted_starts += 1
+            assert record.state == model_state
+        else:
+            with pytest.raises(InvalidTransition):
+                table.transition(job.id, target)
+            assert table.get(job.id).state == model_state
+
+    final = table.get(job.id)
+    assert final.state == model_state
+    assert final.attempts == accepted_starts
+    if final.state in TERMINAL:
+        assert final.terminal
+        assert not TRANSITIONS[final.state]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    terminal=st.sampled_from(sorted(TERMINAL)),
+    events=st.lists(event_strategy, min_size=1, max_size=10),
+)
+def test_terminal_states_are_sticky(terminal, events):
+    """Drive a job into a terminal state, then throw every event at
+    it: the state must never move again."""
+    table = JobTable()
+    job = table.new_job("SELECT 1", "sql")
+    if terminal in (DONE,):
+        table.transition(job.id, RUNNING)
+    elif terminal == FAILED:
+        table.transition(job.id, RUNNING)
+    table.transition(job.id, terminal)
+
+    for event in events:
+        if event == "request_cancel":
+            table.request_cancel(job.id)  # idempotent no-op
+        else:
+            with pytest.raises(InvalidTransition):
+                table.transition(job.id, EVENTS[event])
+        assert table.get(job.id).state == terminal
