@@ -170,6 +170,8 @@ class Shell:
             kind = "meta"
         elif text.upper().startswith("MINE"):
             kind = "mine"
+        elif text.upper().startswith("REFRESH"):
+            kind = "refresh"
         else:
             kind = "sql"
         started = time.perf_counter()
@@ -178,6 +180,8 @@ class Shell:
                 output = self._meta(text)
             elif kind == "mine":
                 output = self._mine(text)
+            elif kind == "refresh":
+                output = self._refresh(text)
             else:
                 output = self._sql(text)
             self._log_statement(kind, text, started, ok=True)
@@ -239,6 +243,27 @@ class Shell:
         ]
         if result.resilience is not None and result.resilience.any():
             lines.append(f"resilience: {result.resilience.describe()}")
+        if self.db.catalog.has_table(f"{out}_Display"):
+            lines.append(self.db.table(f"{out}_Display").pretty(limit=25))
+        return "\n".join(lines)
+
+    def _refresh(self, text: str) -> str:
+        result = self.system.refresh(text, resume=self.resume)
+        out = result.statement.output_table
+        stats = result.stats
+        if stats.mode == "full":
+            detail = f"full re-mine ({stats.reason})"
+        else:
+            detail = (
+                f"incremental: {stats.delta_rows} appended rows, "
+                f"{stats.delta_pairs} new pairs, "
+                f"{stats.recounted_itemsets} itemsets recounted"
+            )
+        lines = [
+            f"refreshed {out} — {detail}",
+            f"{len(result.rules)} rules -> {out}, {out}_Bodies, "
+            f"{out}_Heads, {out}_Display",
+        ]
         if self.db.catalog.has_table(f"{out}_Display"):
             lines.append(self.db.table(f"{out}_Display").pretty(limit=25))
         return "\n".join(lines)

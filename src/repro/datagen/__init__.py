@@ -17,10 +17,15 @@ from repro.datagen.quest import (
     iter_baskets,
     load_quest,
 )
-from repro.datagen.telecom import iter_call_rows, load_telecom
+from repro.datagen.telecom import (
+    iter_burst_appends,
+    iter_call_rows,
+    load_telecom,
+)
 from repro.datagen.retail import (
     PURCHASE_COLUMNS,
     figure1_rows,
+    iter_drift_appends,
     iter_purchase_rows,
     load_purchase_figure1,
     load_purchase_synthetic,
@@ -32,7 +37,9 @@ __all__ = [
     "figure1_rows",
     "generate_quest",
     "iter_baskets",
+    "iter_burst_appends",
     "iter_call_rows",
+    "iter_drift_appends",
     "iter_purchase_rows",
     "load_clickstream",
     "load_purchase_figure1",

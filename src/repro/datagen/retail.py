@@ -152,6 +152,71 @@ def iter_purchase_rows(
         yield chunk
 
 
+def iter_drift_appends(
+    batches: int = 5,
+    transactions_per_batch: int = 40,
+    items_per_transaction: int = 4,
+    catalog_size: int = 60,
+    drift: float = 0.15,
+    seed: int = 7,
+    start_tr: int = 0,
+    start_date: Optional[datetime.date] = None,
+) -> Iterator[List[Tuple]]:
+    """Yield ``batches`` append batches of Purchase rows whose item
+    popularity *drifts* between batches.
+
+    Batch ``b`` draws items from a popularity window centred at
+    ``b * drift * catalog_size`` (wrapping), so itemsets frequent in
+    early batches sink below the support threshold later while fresh
+    ones rise above it — exactly the border-crossing traffic an
+    incremental REFRESH has to recount.  Transaction ids continue from
+    ``start_tr`` (pass the current ``MAX(tr)``) so appended rows never
+    collide with the already-mined groups; prices stay fixed per item
+    as in :func:`load_purchase_synthetic`.
+    """
+    if batches <= 0:
+        raise ValueError("batches must be positive")
+    rng = random.Random(seed)
+    start = start_date or datetime.date(1998, 1, 1)
+
+    catalog: List[Tuple[str, float]] = []
+    for index in range(catalog_size):
+        stem, (low, high) = _CATALOG_BANDS[index % len(_CATALOG_BANDS)]
+        price = round(rng.uniform(low, high), 2)
+        catalog.append((f"{stem}_{index}", price))
+
+    transaction_id = start_tr
+    for batch_index in range(batches):
+        centre = int(batch_index * drift * catalog_size)
+        rows: List[Tuple] = []
+        for _ in range(transactions_per_batch):
+            transaction_id += 1
+            customer = f"cust{rng.randint(1, max(2, catalog_size // 2))}"
+            date = start + datetime.timedelta(days=batch_index)
+            basket_size = max(
+                1, round(rng.gauss(items_per_transaction, 1.5))
+            )
+            chosen = set()
+            for _ in range(basket_size):
+                # same quadratic skew as the base stream, shifted to
+                # the batch's popularity centre (wrapping)
+                offset = int(catalog_size * rng.random() ** 2)
+                chosen.add((centre + offset) % catalog_size)
+            for index in sorted(chosen):
+                item, price = catalog[index]
+                rows.append(
+                    (
+                        transaction_id,
+                        customer,
+                        item,
+                        date,
+                        price,
+                        rng.randint(1, 3),
+                    )
+                )
+        yield rows
+
+
 def load_purchase_synthetic(
     database: Database,
     customers: int = 50,

@@ -125,6 +125,57 @@ def iter_call_rows(
         yield chunk
 
 
+def iter_burst_appends(
+    bursts: int = 4,
+    subscribers: int = 50,
+    burst_subscribers: int = 8,
+    calls_per_burst: int = 60,
+    premium_fraction: float = 0.5,
+    seed: int = 43,
+    start_date: datetime.date = datetime.date(1997, 3, 8),
+) -> Iterator[List[Tuple]]:
+    """Yield ``bursts`` append batches of Calls rows modelling traffic
+    spikes on the CSELT CDR scenario.
+
+    Each burst picks a fresh clique of ``burst_subscribers`` callers
+    who hammer a small callee set (heavy on premium ``svc`` numbers:
+    the fraud pattern the motivating analyses chased), one calendar
+    day per burst starting at ``start_date``.  Appending bursts after
+    an initial MINE RULE run makes previously-rare callee itemsets
+    cross the support border upward — the recount direction of an
+    incremental REFRESH — without touching historical rows.
+    """
+    if bursts <= 0:
+        raise ValueError("bursts must be positive")
+    rng = random.Random(seed)
+    for burst_index in range(bursts):
+        cdate = start_date + datetime.timedelta(days=burst_index)
+        clique = rng.sample(range(1, subscribers + 1),
+                            min(burst_subscribers, subscribers))
+        targets = sorted(
+            {f"sub{1 + (s + 1) % subscribers}" for s in clique[:3]}
+        )
+        rows: List[Tuple] = []
+        for _ in range(calls_per_burst):
+            caller = f"sub{rng.choice(clique)}"
+            if rng.random() < premium_fraction:
+                calltype = "premium"
+                callee = f"svc{rng.randint(1, 5)}"
+            else:
+                calltype = rng.choices(
+                    ("local", "national", "international"),
+                    weights=(6, 3, 1),
+                )[0]
+                callee = rng.choice(targets)
+            hour = min(23, max(0, round(rng.gauss(22, 1.5))))
+            duration = max(1, round(rng.expovariate(1 / 2.0)))
+            cost = round(duration * _RATES[calltype], 2)
+            rows.append(
+                (caller, callee, cdate, hour, duration, cost, calltype)
+            )
+        yield rows
+
+
 def load_telecom(
     database: Database,
     subscribers: int = 50,

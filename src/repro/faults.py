@@ -42,7 +42,20 @@ Injection sites
                         once per shard per phase (local, recount)
 ``postprocessor.store`` writing the normalized output relations
 ``postprocessor.decode``running the decode program + display build
+``refresh.delta``       before the REFRESH delta scan (snapshot diff +
+                        known-count maintenance); pure computation, so
+                        a retried attempt recomputes from scratch
+``refresh.recount``     before the REFRESH border recount (level-wise
+                        candidate expansion); also idempotent — state
+                        commits only after the phase succeeds
+``jobs.submit``         job-service submission (job lands in ``failed``)
+``jobs.run.<id>``       start of each execution attempt of job ``<id>``
 ======================  ==================================================
+
+The two ``refresh.*`` sites are deliberately *not* in
+:data:`DEFAULT_SITES`: a randomly generated schedule arms only sites
+every typical statement visits, and REFRESH runs only when a test asks
+for it — the chaos refresh tests install explicit schedules instead.
 
 Faults fire *at stage entry*, before the stage mutates any state —
 which is what makes retry (exactly-once re-execution) and stage-level

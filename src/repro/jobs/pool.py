@@ -5,6 +5,16 @@ bounded submission semantics (an overfull queue rejects immediately
 instead of buffering without limit), and sentinel items give a clean
 join on shutdown.  The pool knows nothing about jobs; it runs whatever
 handler the :class:`~repro.jobs.service.JobService` installs.
+
+The pool is the single source of truth for its own load: ``_pending``
+(submitted, not yet started) and ``_busy`` (handler running) are
+counters mutated only under one lock, and every transition invokes the
+optional :attr:`WorkerPool.observer` *while still holding that lock* —
+so an observer publishing the values into gauges sees a totally
+ordered sequence of snapshots and can never overwrite a newer state
+with a stale one (reading ``queue.qsize()`` / ``busy`` from outside,
+as the service used to, interleaves reads with other workers'
+transitions and publishes garbage under load).
 """
 
 from __future__ import annotations
@@ -37,9 +47,13 @@ class WorkerPool:
         self.queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
         self._name = name
         self._threads: list = []
+        self._pending = 0
         self._busy = 0
-        self._busy_lock = threading.Lock()
+        self._state_lock = threading.Lock()
         self._started = False
+        #: ``observer(pending, busy)`` called under the state lock on
+        #: every transition (gauge publication hook)
+        self.observer: Optional[Callable[[int, int], None]] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -72,20 +86,37 @@ class WorkerPool:
     def submit(self, item: Any) -> None:
         """Enqueue without blocking; raises :class:`queue.Full` when
         the bounded queue is at capacity (back-pressure)."""
-        self.queue.put_nowait(item)
+        # Count before enqueueing (and roll back on rejection) so a
+        # worker that picks the item up immediately can never drive
+        # the pending counter negative.
+        with self._state_lock:
+            self._pending += 1
+            self._notify_locked()
+        try:
+            self.queue.put_nowait(item)
+        except BaseException:
+            with self._state_lock:
+                self._pending -= 1
+                self._notify_locked()
+            raise
 
     # -- observability --------------------------------------------------
 
     @property
     def depth(self) -> int:
-        """Items waiting in the queue right now."""
-        return self.queue.qsize()
+        """Items submitted but not yet picked up by a worker."""
+        with self._state_lock:
+            return self._pending
 
     @property
     def busy(self) -> int:
         """Workers currently executing an item."""
-        with self._busy_lock:
+        with self._state_lock:
             return self._busy
+
+    def _notify_locked(self) -> None:
+        if self.observer is not None:
+            self.observer(self._pending, self._busy)
 
     # -- worker loop ----------------------------------------------------
 
@@ -93,10 +124,14 @@ class WorkerPool:
         while True:
             item = self.queue.get()
             if item is _STOP:
+                # sentinels enter via stop(), not submit(): they are
+                # never counted as pending work
                 self.queue.task_done()
                 return
-            with self._busy_lock:
+            with self._state_lock:
+                self._pending -= 1
                 self._busy += 1
+                self._notify_locked()
             try:
                 self.handler(item)
             except Exception:
@@ -104,6 +139,7 @@ class WorkerPool:
                 # "failed"); a bug in it must not kill the worker.
                 pass
             finally:
-                with self._busy_lock:
+                with self._state_lock:
                     self._busy -= 1
+                    self._notify_locked()
                 self.queue.task_done()

@@ -5,8 +5,10 @@ Glues the pieces together: statements come in through
 :class:`~repro.jobs.table.JobTable`, and a
 :class:`~repro.jobs.pool.WorkerPool` executes them against one shared
 :class:`~repro.system.MiningSystem`.  MINE RULE jobs run the full
-pipeline under the engine's write lock; SQL jobs go straight to the
-engine, whose statement guard gives scans the shared read side.
+pipeline under the engine's write lock; REFRESH RULES jobs run the
+FUP-style incremental maintenance path (:mod:`repro.incremental`)
+under the same lock; SQL jobs go straight to the engine, whose
+statement guard gives scans the shared read side.
 
 Fault sites (:mod:`repro.faults`): ``jobs.submit`` fires during
 submission (the job is recorded, then lands in ``failed`` with the
@@ -18,7 +20,10 @@ an unfaulted run.
 Metrics (PR5 registry): ``repro_jobs_queue_depth`` (gauge),
 ``repro_job_seconds{kind,status}`` (histogram),
 ``repro_jobs_total{status}`` (counter),
-``repro_jobs_workers_busy`` (gauge).
+``repro_jobs_workers_busy`` (gauge).  The two gauges are published
+from the pool's transition observer — one lock-ordered source of
+truth — never from service-side reads that could interleave with
+concurrent workers and publish stale values.
 """
 
 from __future__ import annotations
@@ -87,6 +92,13 @@ class JobService:
             "repro_jobs_total", "Jobs finished by terminal status",
             ("status",),
         )
+        self.pool.observer = self._publish_pool_gauges
+
+    def _publish_pool_gauges(self, pending: int, busy: int) -> None:
+        """Pool transition observer — invoked under the pool's state
+        lock, so successive gauge publications are totally ordered."""
+        self._queue_depth.set(pending)
+        self._workers_busy.set(busy)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -116,17 +128,24 @@ class JobService:
         """Record and enqueue one statement; returns the job record.
 
         ``kind`` is derived from the text when omitted (``mine`` for
-        MINE RULE, ``sql`` otherwise).  ``retries`` installs a per-job
-        retry policy overriding the service default.  A full queue
-        raises :class:`JobQueueFull`; an injected ``jobs.submit`` fault
-        lands the job in ``failed`` with the error recorded.
+        MINE RULE, ``refresh`` for REFRESH RULES, ``sql`` otherwise).
+        ``retries`` installs a per-job retry policy overriding the
+        service default.  A full queue raises :class:`JobQueueFull`;
+        an injected ``jobs.submit`` fault lands the job in ``failed``
+        with the error recorded.
         """
         text = statement.strip().rstrip(";").strip()
         if not text:
             raise ValueError("empty statement")
         if kind is None:
-            kind = "mine" if text.upper().startswith("MINE") else "sql"
-        if kind not in ("mine", "sql"):
+            upper = text.upper()
+            if upper.startswith("MINE"):
+                kind = "mine"
+            elif upper.startswith("REFRESH"):
+                kind = "refresh"
+            else:
+                kind = "sql"
+        if kind not in ("mine", "refresh", "sql"):
             raise ValueError(f"unknown job kind {kind!r}")
         job = self.table.new_job(text, kind)
         if retries is not None:
@@ -144,7 +163,6 @@ class JobService:
             self.table.transition(job.id, FAILED, error="job queue full")
             self._jobs_total.inc(status=FAILED)
             raise JobQueueFull(job) from None
-        self._queue_depth.set(self.pool.depth)
         return job
 
     def cancel(self, job_id: str) -> Job:
@@ -190,11 +208,9 @@ class JobService:
 
     def _execute(self, job_id: str) -> None:
         job = self.table.try_start(job_id)
-        self._queue_depth.set(self.pool.depth)
         if job is None:  # cancelled while queued
             self._policies.pop(job_id, None)
             return
-        self._workers_busy.set(self.pool.busy)
         policy = self._policies.get(job_id) or self.retry_policy
         if policy is None:
             policy = RetryPolicy.single()
@@ -220,7 +236,6 @@ class JobService:
             self._policies.pop(job_id, None)
             self._job_seconds.observe(elapsed, kind=job.kind, status=status)
             self._jobs_total.inc(status=status)
-            self._workers_busy.set(max(0, self.pool.busy - 1))
 
     def _run_job(self, job: Job, policy: RetryPolicy) -> Dict[str, Any]:
         """One execution attempt (the unit the retry policy repeats)."""
@@ -230,11 +245,13 @@ class JobService:
             raise RunCancelled(f"{job.id} cancelled before execution")
         if job.kind == "mine":
             return self._run_mine(job, policy, cancel)
+        if job.kind == "refresh":
+            return self._run_refresh(job, policy, cancel)
         return self._run_sql(job)
 
-    def _run_mine(self, job: Job, policy: RetryPolicy,
-                  cancel) -> Dict[str, Any]:
-        result = self.system.run(job.statement, retry=policy, cancel=cancel)
+    def _rule_payload(self, result) -> Dict[str, Any]:
+        """Display text + canonical rule list shared by the mine and
+        refresh result payloads."""
         out = result.output_table
         db = self.system.db
         display_table = f"{out}_Display"
@@ -254,14 +271,32 @@ class JobService:
             for rule in result.rules
         )
         return {
-            "kind": "mine",
             "output_table": out,
             "rule_count": len(result.rules),
             "rules": rules,
             "display": display,
             "run_id": result.run_id,
-            "preprocessing_reused": result.preprocessing_reused,
         }
+
+    def _run_mine(self, job: Job, policy: RetryPolicy,
+                  cancel) -> Dict[str, Any]:
+        result = self.system.run(job.statement, retry=policy, cancel=cancel)
+        payload = self._rule_payload(result)
+        payload["kind"] = "mine"
+        payload["preprocessing_reused"] = result.preprocessing_reused
+        return payload
+
+    def _run_refresh(self, job: Job, policy: RetryPolicy,
+                     cancel) -> Dict[str, Any]:
+        result = self.system.refresh(
+            job.statement, retry=policy, cancel=cancel
+        )
+        payload = self._rule_payload(result)
+        payload["kind"] = "refresh"
+        payload["mode"] = result.stats.mode
+        if result.stats.reason:
+            payload["reason"] = result.stats.reason
+        return payload
 
     def _run_sql(self, job: Job) -> Dict[str, Any]:
         result = self.system.db.execute(job.statement)

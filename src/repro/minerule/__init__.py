@@ -16,9 +16,13 @@ from repro.minerule.errors import (
     MineRuleParseError,
     MineRuleValidationError,
 )
-from repro.minerule.parser import parse_mine_rule
+from repro.minerule.parser import parse_mine_rule, parse_refresh
 from repro.minerule.render import render_mine_rule
-from repro.minerule.statements import ItemDescriptor, MineRuleStatement
+from repro.minerule.statements import (
+    ItemDescriptor,
+    MineRuleStatement,
+    RefreshStatement,
+)
 from repro.minerule.validator import validate
 
 __all__ = [
@@ -28,8 +32,10 @@ __all__ = [
     "MineRuleParseError",
     "MineRuleStatement",
     "MineRuleValidationError",
+    "RefreshStatement",
     "classify",
     "parse_mine_rule",
+    "parse_refresh",
     "render_mine_rule",
     "validate",
 ]

@@ -26,7 +26,11 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.minerule.errors import MineRuleParseError
-from repro.minerule.statements import ItemDescriptor, MineRuleStatement
+from repro.minerule.statements import (
+    ItemDescriptor,
+    MineRuleStatement,
+    RefreshStatement,
+)
 from repro.sqlengine import ast_nodes as sql
 from repro.sqlengine.errors import SqlParseError
 from repro.sqlengine.lexer import TokenType
@@ -69,6 +73,21 @@ class MineRuleParser(Parser):
             return self._mine_rule()
         except SqlParseError as exc:
             raise MineRuleParseError(str(exc)) from exc
+
+    def parse_refresh(self) -> RefreshStatement:
+        try:
+            return self._refresh()
+        except SqlParseError as exc:
+            raise MineRuleParseError(str(exc)) from exc
+
+    def _refresh(self) -> RefreshStatement:
+        self._expect_word("REFRESH")
+        self._expect_word("RULES")
+        output_table = self._expect_ident()
+        self._accept_symbol(";")
+        if self._current.type is not TokenType.EOF:
+            raise self._mr_error("unexpected trailing input")
+        return RefreshStatement(output_table=output_table, text=self._text)
 
     def _mine_rule(self) -> MineRuleStatement:
         self._expect_word("MINE")
@@ -239,3 +258,12 @@ def parse_mine_rule(text: str) -> MineRuleStatement:
     except SqlParseError as exc:
         raise MineRuleParseError(str(exc)) from exc
     return parser.parse()
+
+
+def parse_refresh(text: str) -> RefreshStatement:
+    """Parse a ``REFRESH RULES <output_table>`` statement from *text*."""
+    try:
+        parser = MineRuleParser(text)  # tokenizes: may raise SqlParseError
+    except SqlParseError as exc:
+        raise MineRuleParseError(str(exc)) from exc
+    return parser.parse_refresh()

@@ -88,3 +88,17 @@ class MineRuleStatement:
         parts.append(f"support>={self.min_support}")
         parts.append(f"confidence>={self.min_confidence}")
         return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class RefreshStatement:
+    """``REFRESH RULES <output_table>`` — bring a previously mined rule
+    table up to date with rows appended to its source since the last
+    run (or refresh) of the owning MINE RULE statement."""
+
+    output_table: str
+    #: original statement text (kept for diagnostics / logging)
+    text: str = ""
+
+    def describe(self) -> str:
+        return f"REFRESH RULES {self.output_table}"

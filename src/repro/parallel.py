@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
@@ -307,6 +308,42 @@ def _lattice_representation(representation: str) -> str:
     return "bitset" if representation == "packed" else representation
 
 
+#: user-facing message when an *explicitly requested* packed layout is
+#: remapped for the lattice core (tests pin this text)
+PACKED_LATTICE_REMAP_MESSAGE = (
+    'representation="packed" is not supported by the lattice (general) '
+    "core: the guard-bit distinct-group trick needs big-int borrow "
+    'subtraction; proceeding with representation="bitset"'
+)
+
+_packed_remap_warned = False
+
+
+def _warn_packed_lattice_remap(tracer) -> None:
+    """Surface an explicit packed->bitset lattice remap: a tracer
+    instant every time, a ``RuntimeWarning`` once per process (the
+    remap is per-run but nagging on every statement helps nobody)."""
+    global _packed_remap_warned
+    if tracer is not None and tracer.enabled:
+        tracer.instant(
+            "core.representation_remap",
+            category="core",
+            requested="packed",
+            effective="bitset",
+        )
+    if not _packed_remap_warned:
+        warnings.warn(
+            PACKED_LATTICE_REMAP_MESSAGE, RuntimeWarning, stacklevel=3
+        )
+        _packed_remap_warned = True
+
+
+def reset_packed_remap_warning() -> None:
+    """Re-arm the one-time remap warning (test isolation helper)."""
+    global _packed_remap_warned
+    _packed_remap_warned = False
+
+
 # ---------------------------------------------------------------------------
 # phase functions (module level: picklable under every start method)
 # ---------------------------------------------------------------------------
@@ -464,6 +501,7 @@ class ShardedMiner:
         in_process: bool = False,
         tracer=None,
         metrics=None,
+        explicit_representation: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -480,6 +518,10 @@ class ShardedMiner:
         self.in_process = in_process
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        #: True when the representation came from the user (an explicit
+        #: choice that gets a warning if the lattice remaps it) rather
+        #: than the executor's own packed auto-upgrade
+        self.explicit_representation = explicit_representation
         #: (phase, shard) -> wall seconds of the last run
         self.shard_seconds: Dict[Tuple[str, int], float] = {}
         #: set when a pool could not be created and phases ran inline
@@ -581,6 +623,8 @@ class ShardedMiner:
     ) -> Tuple[List[EncodedRule], CoreStats]:
         """Sharded counterpart of ``GeneralCoreOperator.run``."""
         representation = validate_representation(representation)
+        if representation == "packed" and self.explicit_representation:
+            _warn_packed_lattice_remap(self.tracer)
         self.shard_seconds = {}
         gids = set(data.body_items) | set(data.head_items)
         if data.cluster_pairs is not None:

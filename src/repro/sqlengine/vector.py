@@ -1197,8 +1197,11 @@ class VLeftOuterHashJoin(VNode):
     """LEFT OUTER equi-join.  Candidates are gathered per left row in
     bucket order, the residual is applied batch-wise, and unmatched
     left rows pad the right side with NULLs — the row operator's exact
-    emission order.  (No spilling variant: the mining workload's outer
-    joins are small; above-budget inputs simply run in memory.)"""
+    emission order.  Above the memory budget the candidate pairs come
+    from :func:`repro.sqlengine.spill.spill_join_pairs`, whose output
+    (left-major, build-insertion order per key) is exactly the
+    in-memory candidate order, so the per-left spans — and with them
+    the NULL padding of unmatched rows — rebuild identically."""
 
     def __init__(
         self,
@@ -1228,24 +1231,41 @@ class VLeftOuterHashJoin(VNode):
             _as_list(k.fn(ctx, lbatch.cols, lbatch.n), lbatch.n)
             for k in self.left_keys
         ]
-        build: Dict[Tuple[Any, ...], List[int]] = {}
-        rtup = _key_tuples(rkeys, rbatch.n)
-        for j in range(rbatch.n):
-            key = rtup[j]
-            if any(v is None for v in key):
-                continue
-            build.setdefault(key, []).append(j)
+        budget = ctx.budget
         ltup = _key_tuples(lkeys, lbatch.n)
         # candidate (left, right) pairs, i-major and contiguous per i
-        cand: List[Tuple[int, int]] = []
+        cand: List[Tuple[int, int]]
+        if budget is not None and rbatch.n and spill_mod.estimate_bytes(
+            len(rbatch.cols) + len(rkeys), rbatch.n
+        ) > budget:
+            cand, spilled = spill_mod.spill_join_pairs(
+                ltup, _key_tuples(rkeys, rbatch.n)
+            )
+            self._spill += spilled
+        else:
+            build: Dict[Tuple[Any, ...], List[int]] = {}
+            rtup = _key_tuples(rkeys, rbatch.n)
+            for j in range(rbatch.n):
+                key = rtup[j]
+                if any(v is None for v in key):
+                    continue
+                build.setdefault(key, []).append(j)
+            cand = []
+            for i in range(lbatch.n):
+                key = ltup[i]
+                if not any(v is None for v in key):
+                    for j in build.get(key, ()):
+                        cand.append((i, j))
+        # per-left candidate spans over the i-major pair list; left
+        # rows with no candidates get empty spans (NULL-pad below)
         spans: List[Tuple[int, int]] = []
+        pos = 0
+        total = len(cand)
         for i in range(lbatch.n):
-            key = ltup[i]
-            start = len(cand)
-            if not any(v is None for v in key):
-                for j in build.get(key, ()):
-                    cand.append((i, j))
-            spans.append((start, len(cand)))
+            start = pos
+            while pos < total and cand[pos][0] == i:
+                pos += 1
+            spans.append((start, pos))
         matched_flags: List[bool]
         if self.residual is not None and cand:
             ccols = [_gather(c, [i for i, _ in cand]) for c in lbatch.cols]

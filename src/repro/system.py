@@ -42,17 +42,27 @@ from repro.algorithms.bitset import (
     validate_representation,
 )
 from repro.faults import FaultError, RetryPolicy
+from repro.incremental import (
+    MiningState,
+    RefreshComputation,
+    RefreshError,
+    RefreshStats,
+    SourceMutated,
+    encode_for_emission,
+    refresh_eligibility,
+)
 from repro.kernel.core.general import GeneralCoreOperator
 from repro.kernel.metrics import CoreStats, ResilienceStats
 from repro.kernel.core.inputs import CoreInputLoader
 from repro.kernel.core.rules import EncodedRule
-from repro.kernel.core.simple import SimpleCoreOperator
+from repro.kernel.core.simple import SimpleCoreOperator, build_rules
 from repro.kernel.names import Workspace
 from repro.kernel.postprocessor import DecodedRule, Postprocessor
 from repro.kernel.preprocessor import Preprocessor, PreprocessStats
 from repro.kernel.program import StageCheckpoint, TranslationProgram
 from repro.kernel.trace import ProcessFlow
 from repro.kernel.translator import Translator
+from repro.minerule.parser import parse_refresh
 from repro.minerule.statements import MineRuleStatement
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -118,6 +128,59 @@ class MiningResult:
     def rule_set(self) -> set:
         """{(body frozenset, head frozenset, support, confidence)} with
         ratios rounded for robust comparisons."""
+        return {
+            (r.body, r.head, round(r.support, 9), round(r.confidence, 9))
+            for r in self.rules
+        }
+
+
+@dataclass
+class _RefreshEntry:
+    """Per-output-table refresh bookkeeping: the owning statement, its
+    translated program (workspace, postprocessing SQL, directives) and
+    the mining state captured by the last refresh."""
+
+    statement_text: str
+    program: TranslationProgram
+    state: Optional[MiningState] = None
+
+
+@dataclass
+class RefreshResult:
+    """Outcome of one ``REFRESH RULES`` execution.
+
+    Mirrors :class:`MiningResult` (rules, program, flow) plus the
+    refresh-specific :class:`~repro.incremental.RefreshStats` — mode
+    ``"incremental"`` when FUP delta maintenance ran, ``"full"`` when a
+    forced full re-mine was executed instead (with ``stats.reason``
+    saying why)."""
+
+    statement: MineRuleStatement
+    program: TranslationProgram
+    encoded_rules: List[EncodedRule]
+    rules: List[DecodedRule]
+    flow: ProcessFlow
+    stats: RefreshStats
+    resilience: Optional[ResilienceStats] = None
+    run_id: int = 0
+
+    @property
+    def directives(self):
+        return self.program.directives
+
+    @property
+    def output_table(self) -> str:
+        return self.statement.output_table
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        return self.flow.timings
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rule_set(self) -> set:
+        """Same robust comparison form as :meth:`MiningResult.rule_set`."""
         return {
             (r.body, r.head, round(r.support, 9), round(r.confidence, 9))
             for r in self.rules
@@ -237,6 +300,9 @@ class MiningSystem:
         self._preprocess_cache: Dict[tuple, Tuple[Workspace, int, int]] = {}
         #: normalized statement text -> checkpoint of a crashed run
         self._checkpoints: Dict[str, StageCheckpoint] = {}
+        #: lowercased output table -> refresh bookkeeping of the last
+        #: successful MINE RULE run producing it (REFRESH RULES target)
+        self._refresh_registry: Dict[str, _RefreshEntry] = {}
         #: serializes whole MINE RULE runs: the pipeline mutates shared
         #: system state (_executions, reuse cache, checkpoints, host
         #: variables, algorithm.representation), so concurrent job
@@ -386,6 +452,17 @@ class MiningSystem:
                 "recorded encoded tables are gone or changed; "
                 "restarting from scratch",
             )
+            # The restarted run mints a fresh workspace prefix, so the
+            # discarded checkpoint's partial tables would never be swept
+            # by _drop_partial_tables — orphan-sweep its prefix here
+            # (and evict reuse-cache entries pointing at it, which
+            # would otherwise hand out just-dropped encoded tables).
+            self._sweep_workspace(Workspace(checkpoint.workspace_prefix))
+            flow.event(
+                "translator",
+                "swept orphaned workspace",
+                checkpoint.workspace_prefix,
+            )
             self._checkpoints.pop(key, None)
             checkpoint = None
         resumed = checkpoint is not None
@@ -457,6 +534,15 @@ class MiningSystem:
         flow.bump("degradations", resilience.degradations)
         if resilience.any():
             flow.event("postprocessor", "resilience", resilience.describe())
+
+        # Register the run as a REFRESH RULES target.  The state is
+        # captured lazily by the first refresh (which then costs a full
+        # pairs pass but still emits bit-identically); a re-run resets
+        # it because the old snapshot no longer matches what the rule
+        # tables reflect.
+        self._refresh_registry[
+            program.statement.output_table.lower()
+        ] = _RefreshEntry(statement_text=key, program=program)
 
         return MiningResult(
             statement=program.statement,
@@ -686,6 +772,7 @@ class MiningSystem:
             start_method=self.shard_start_method,
             tracer=self.tracer,
             metrics=self.metrics,
+            explicit_representation=self._explicit_representation,
         )
         if program.core.simple:
             # Columnar CodedSource tables stream their raw identifier
@@ -810,6 +897,302 @@ class MiningSystem:
         flow.stop()
         return decoded
 
+    # ------------------------------------------------------------------
+    # REFRESH RULES (FUP-style incremental maintenance)
+    # ------------------------------------------------------------------
+
+    def refresh(
+        self,
+        target: str,
+        resume: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        cancel: Optional[Callable[[], bool]] = None,
+    ) -> RefreshResult:
+        """Bring a previously mined rule table up to date with rows
+        appended to its source (``REFRESH RULES <output_table>``).
+
+        *target* is either the bare output table name or the full
+        ``REFRESH RULES <name>`` statement text.  The refreshed output
+        tables are bit-identical to a from-scratch run of the owning
+        statement on the current source.  When the statement is not
+        eligible for delta maintenance, when no state has been captured
+        yet the work degrades gracefully (state capture / forced full
+        re-mine — see :mod:`repro.incremental`); when the source was
+        mutated in place (not append-only) a full re-mine is forced.
+        """
+        policy = retry if retry is not None else self.retry_policy
+        if policy is None:
+            policy = RetryPolicy.single()
+        text = target.strip()
+        # Statement text, not a bare table name whose identifier merely
+        # starts with "refresh": the keyword is a whole first word.
+        first_word = text.split(None, 1)[0].upper() if text else ""
+        if first_word == "REFRESH":
+            name = parse_refresh(text).output_table
+        else:
+            name = text
+
+        tracer = self.tracer
+        metrics = self.metrics
+        health = self.health
+        if health is not None:
+            health.begin()
+        status = "error"
+        mode = "unknown"
+        started = time.perf_counter()
+        try:
+            if tracer.enabled:
+                with tracer.span(
+                    "minerule.refresh", category="minerule", output=name
+                ):
+                    result = self._refresh_pipeline(
+                        name, resume, policy, cancel
+                    )
+            else:
+                result = self._refresh_pipeline(name, resume, policy, cancel)
+            status = "ok"
+            mode = result.stats.mode
+        except RunCancelled:
+            status = "cancelled"
+            if health is not None:
+                health.success()
+            raise
+        except Exception as exc:
+            if health is not None:
+                health.failure(exc)
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            if metrics.enabled:
+                metrics.histogram(
+                    "repro_refresh_seconds",
+                    "End-to-end REFRESH RULES latency",
+                ).observe(elapsed)
+                metrics.counter(
+                    "repro_refresh_total",
+                    "REFRESH RULES runs by outcome and mode",
+                    ("status", "mode"),
+                ).inc(status=status, mode=mode)
+            if self.slowlog is not None:
+                self.slowlog.record(
+                    "minerule.refresh", elapsed, detail=f"REFRESH RULES {name}"
+                )
+        if health is not None:
+            health.success()
+        return result
+
+    def _refresh_pipeline(
+        self,
+        name: str,
+        resume: bool,
+        policy: RetryPolicy,
+        cancel: Optional[Callable[[], bool]],
+    ) -> RefreshResult:
+        # Same serialization as a full run: refresh rewrites Bset and
+        # the output tables, so it owns the engine exclusively.
+        with self._run_lock, self.db.rwlock.write_locked():
+            return self._refresh_locked(name, resume, policy, cancel)
+
+    def _refresh_locked(
+        self,
+        name: str,
+        resume: bool,
+        policy: RetryPolicy,
+        cancel: Optional[Callable[[], bool]],
+    ) -> RefreshResult:
+        entry = self._refresh_registry.get(name.lower())
+        if entry is None:
+            raise RefreshError(
+                f"no MINE RULE run recorded for output table {name!r}; "
+                f"run the statement once before REFRESH RULES"
+            )
+        flow = ProcessFlow(tracer=self.tracer)
+        resilience = ResilienceStats()
+        reason = refresh_eligibility(entry.program)
+        if reason is not None:
+            return self._refresh_full(
+                entry, reason, flow, resume, policy, cancel
+            )
+
+        def on_retry(stage: str, attempt: int, exc: Exception,
+                     delay: float) -> None:
+            resilience.retries += 1
+            flow.bump("retries")
+            flow.event(
+                "core",
+                "retry",
+                f"{stage} attempt {attempt} failed ({exc}); "
+                f"backing off {delay * 1000:.1f} ms",
+            )
+
+        computation = RefreshComputation(
+            self.db, entry.program.statement, entry.state
+        )
+
+        def phase(site: str, fn):
+            def attempt():
+                faults.check(site)
+                return fn()
+
+            if self.tracer.enabled:
+                with self.tracer.span(site, category="refresh"):
+                    return policy.execute(attempt, stage=site,
+                                          on_retry=on_retry)
+            return policy.execute(attempt, stage=site, on_retry=on_retry)
+
+        self._check_cancel(cancel, "refresh.delta")
+        flow.start("core")
+        flow.event(
+            "core",
+            "refresh delta",
+            "capturing mining state from the source"
+            if entry.state is None
+            else f"diffing source against {entry.state.row_count}-row "
+                 f"snapshot",
+        )
+        try:
+            # delta() is idempotent (pure computation into local
+            # buffers), so an injected fault at the site simply re-runs
+            # the whole phase on retry
+            phase("refresh.delta", computation.delta)
+        except SourceMutated as exc:
+            flow.stop()
+            return self._refresh_full(
+                entry, str(exc), flow, resume, policy, cancel
+            )
+        stats = computation.stats
+        flow.event(
+            "core",
+            "delta applied",
+            f"{stats.delta_rows} rows, {stats.delta_pairs} new pairs, "
+            f"{stats.new_items} new items, {stats.new_groups} new groups, "
+            f"{stats.known_itemsets} known counts delta-adjusted",
+        )
+        self._check_cancel(cancel, "refresh.recount")
+        state = phase("refresh.recount", computation.recount)
+        flow.event(
+            "core",
+            "refresh recount",
+            f"{stats.frequent_itemsets} frequent + "
+            f"{stats.border_itemsets} border itemsets "
+            f"({stats.recounted_itemsets} full-bitmap recounts)",
+        )
+        flow.stop()
+        # Commit the state before emission: a crash while emitting
+        # leaves a committed state whose re-refresh sees an empty delta
+        # and re-emits identical tables.
+        entry.state = state
+
+        self._check_cancel(cancel, "postprocessor")
+        decoded, encoded_rules = self._refresh_emit(
+            entry, state, flow, policy, on_retry
+        )
+        stats.rules = len(encoded_rules)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "refresh.stats", category="refresh", **stats.as_args()
+            )
+        # The reuse cache's encoded tables predate the append; drop the
+        # cache (not the tables — the refreshed Bset lives among them)
+        # so a later full run re-preprocesses against current data.
+        self.invalidate_preprocessing()
+        self._executions += 1
+        return RefreshResult(
+            statement=entry.program.statement,
+            program=entry.program,
+            encoded_rules=encoded_rules,
+            rules=decoded,
+            flow=flow,
+            stats=stats,
+            resilience=resilience,
+            run_id=self._executions,
+        )
+
+    def _refresh_emit(
+        self,
+        entry: _RefreshEntry,
+        state: MiningState,
+        flow: ProcessFlow,
+        policy: RetryPolicy,
+        on_retry,
+    ) -> Tuple[List[DecodedRule], List[EncodedRule]]:
+        """Rebuild Bset from the refreshed state and emit through the
+        serial postprocessor — the exact store/decode path of a full
+        run, so outputs are bit-identical by construction."""
+        program = entry.program
+        names = program.workspace
+        bset_rows, counts_by_bid = encode_for_emission(state)
+        columns = program.schemas.get(names.bset)
+        types = None
+        if self.db.catalog.has_table(names.bset):
+            table = self.db.catalog.get_table(names.bset)
+            if columns is None:
+                columns = list(table.columns)
+            types = list(table.types)
+        self.db.create_table_from_rows(
+            names.bset, columns, bset_rows, types=types, replace=True
+        )
+        encoded_rules = build_rules(counts_by_bid, state.totg, program.core)
+        flow.start("postprocessor")
+        policy.execute(
+            lambda: self._postprocessor.store_encoded_rules(
+                program, encoded_rules
+            ),
+            stage="postprocessor.store",
+            on_retry=on_retry,
+        )
+        policy.execute(
+            lambda: self._postprocessor.decode(program),
+            stage="postprocessor.decode",
+            on_retry=on_retry,
+        )
+        decoded = policy.execute(
+            lambda: self._postprocessor.decoded_rules(program, encoded_rules),
+            stage="postprocessor.decode",
+            on_retry=on_retry,
+        )
+        out = program.statement.output_table
+        flow.event(
+            "postprocessor",
+            "stored refreshed relations",
+            f"{out}, {out}_Bodies, {out}_Heads ({len(encoded_rules)} rules)",
+        )
+        flow.stop()
+        return decoded, encoded_rules
+
+    def _refresh_full(
+        self,
+        entry: _RefreshEntry,
+        reason: str,
+        flow: ProcessFlow,
+        resume: bool,
+        policy: RetryPolicy,
+        cancel: Optional[Callable[[], bool]],
+    ) -> RefreshResult:
+        """Forced full re-mine of the recorded statement (ineligible
+        statement or mutated source); re-registers and re-captures."""
+        flow.event("core", "forced full re-mine", reason)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "refresh.full", category="refresh", reason=reason
+            )
+        self.invalidate_preprocessing()
+        result = self._run_pipeline_locked(
+            entry.statement_text, resume, policy, cancel
+        )
+        stats = RefreshStats(mode="full", reason=reason,
+                             rules=len(result.rules))
+        return RefreshResult(
+            statement=result.statement,
+            program=result.program,
+            encoded_rules=result.encoded_rules,
+            rules=result.rules,
+            flow=result.flow,
+            stats=stats,
+            resilience=result.resilience,
+            run_id=result.run_id,
+        )
+
     def _publish_observations(self, result: MiningResult) -> None:
         """Push end-of-run statistics into the tracer registry and the
         metrics registry so the trace export, the consolidated report
@@ -880,6 +1263,21 @@ class MiningSystem:
         for table in workspace.all_tables():
             if table not in checkpoint.table_snapshot:
                 self.db.catalog.drop_table(table, if_exists=True)
+
+    def _sweep_workspace(self, workspace: Workspace) -> None:
+        """Drop every working object of *workspace* and evict reuse
+        cache entries pointing at it (orphaned-prefix cleanup)."""
+        for view in workspace.all_views():
+            self.db.catalog.drop_view(view, if_exists=True)
+        for table in workspace.all_tables():
+            self.db.catalog.drop_table(table, if_exists=True)
+        for sequence in workspace.all_sequences():
+            self.db.catalog.drop_sequence(sequence, if_exists=True)
+        self._preprocess_cache = {
+            signature: entry
+            for signature, entry in self._preprocess_cache.items()
+            if entry[0].prefix != workspace.prefix
+        }
 
     def _remember_checkpoint(
         self, key: str, checkpoint: StageCheckpoint

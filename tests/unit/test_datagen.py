@@ -213,3 +213,110 @@ class TestTelecom:
             "HAVING COUNT(DISTINCT caller) >= 3"
         )
         assert rows
+
+
+class TestDriftAppends:
+    def test_batches_and_schema(self):
+        from repro.datagen import iter_drift_appends
+
+        batches = list(iter_drift_appends(batches=3, seed=9))
+        assert len(batches) == 3
+        for batch in batches:
+            for row in batch:
+                assert len(row) == 6  # Purchase schema width
+                tr, customer, item, date, price, qty = row
+                assert isinstance(tr, int)
+                assert isinstance(date, datetime.date)
+
+    def test_transaction_ids_continue_from_start_tr(self):
+        from repro.datagen import iter_drift_appends
+
+        batches = list(
+            iter_drift_appends(batches=2, start_tr=100, seed=9)
+        )
+        trs = [row[0] for batch in batches for row in batch]
+        assert min(trs) == 101
+        assert trs == sorted(trs)
+
+    def test_deterministic(self):
+        from repro.datagen import iter_drift_appends
+
+        a = list(iter_drift_appends(batches=2, seed=11))
+        b = list(iter_drift_appends(batches=2, seed=11))
+        assert a == b
+
+    def test_popularity_drifts_between_batches(self):
+        from collections import Counter
+
+        from repro.datagen import iter_drift_appends
+
+        def top5(rows):
+            counts = Counter(row[2] for row in rows)
+            return {item for item, _ in counts.most_common(5)}
+
+        first, last = list(
+            iter_drift_appends(
+                batches=4, transactions_per_batch=80, drift=0.25,
+                seed=13,
+            )
+        )[:: 3]
+        # the popular head moves: early and late batches disagree
+        assert top5(first) != top5(last)
+
+    def test_invalid_batches_rejected(self):
+        from repro.datagen import iter_drift_appends
+
+        with pytest.raises(ValueError):
+            list(iter_drift_appends(batches=0))
+
+
+class TestBurstAppends:
+    def test_batches_and_schema(self):
+        from repro.datagen import iter_burst_appends
+
+        bursts = list(iter_burst_appends(bursts=3, seed=9))
+        assert len(bursts) == 3
+        for rows in bursts:
+            for row in rows:
+                assert len(row) == 7  # Calls schema width
+                caller, callee, cdate, hour, duration, cost, ct = row
+                assert caller.startswith("sub")
+                assert isinstance(cdate, datetime.date)
+                assert 0 <= hour <= 23
+
+    def test_premium_heavy_traffic(self):
+        from repro.datagen import iter_burst_appends
+
+        rows = [
+            row
+            for rows in iter_burst_appends(
+                bursts=3, premium_fraction=0.6, seed=5
+            )
+            for row in rows
+        ]
+        premium = [r for r in rows if r[6] == "premium"]
+        assert len(premium) > len(rows) // 4
+        assert all(r[1].startswith("svc") for r in premium)
+
+    def test_one_day_per_burst(self):
+        from repro.datagen import iter_burst_appends
+
+        bursts = list(iter_burst_appends(bursts=3, seed=7))
+        days = [
+            {row[2] for row in rows} for rows in bursts
+        ]
+        assert all(len(d) == 1 for d in days)
+        assert len(set().union(*days)) == 3
+
+    def test_deterministic(self):
+        from repro.datagen import iter_burst_appends
+
+        a = list(iter_burst_appends(bursts=2, seed=3))
+        b = list(iter_burst_appends(bursts=2, seed=3))
+        assert a == b
+
+    def test_invalid_bursts_rejected(self):
+        from repro.datagen import iter_burst_appends
+
+        with pytest.raises(ValueError):
+            list(iter_burst_appends(bursts=0))

@@ -1,0 +1,298 @@
+"""Unit tests for FUP-style incremental maintenance
+(:mod:`repro.incremental`) and the REFRESH RULES verb."""
+
+import datetime
+
+import pytest
+
+from repro import Database, MiningSystem
+from repro.datagen import load_purchase_figure1
+from repro.incremental import (
+    FINGERPRINT_SAMPLES,
+    MiningState,
+    RefreshComputation,
+    RefreshError,
+    SourceMutated,
+    _apriori_candidates,
+    encode_for_emission,
+    fingerprint_stride,
+    pairs_query,
+    refresh_eligibility,
+)
+from repro.minerule import parse_mine_rule, parse_refresh
+from repro.minerule.errors import MineRuleParseError
+
+SIMPLE = (
+    "MINE RULE SimpleAssociations AS "
+    "SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, "
+    "SUPPORT, CONFIDENCE "
+    "FROM Purchase GROUP BY tr "
+    "EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.5"
+)
+
+GENERAL = (
+    "MINE RULE RichAssoc AS "
+    "SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, "
+    "SUPPORT, CONFIDENCE "
+    "WHERE BODY.price > 50 "
+    "FROM Purchase GROUP BY tr "
+    "EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.4"
+)
+
+
+@pytest.fixture
+def system():
+    database = Database()
+    load_purchase_figure1(database)
+    return MiningSystem(database=database)
+
+
+def append_purchase(db, rows):
+    table = db.catalog.get_table("Purchase")
+    for row in rows:
+        table.insert(list(row))
+
+
+EXTRA = [
+    (30, "c9", "ski_pants", datetime.date(1998, 1, 2), 120.0, 1),
+    (30, "c9", "hiking_boots", datetime.date(1998, 1, 2), 180.0, 1),
+    (31, "c10", "ski_pants", datetime.date(1998, 1, 3), 120.0, 1),
+]
+
+
+class TestParseRefresh:
+    def test_basic(self):
+        statement = parse_refresh("REFRESH RULES SimpleAssociations")
+        assert statement.output_table == "SimpleAssociations"
+
+    def test_semicolon_and_case(self):
+        statement = parse_refresh("refresh rules MyRules ;")
+        assert statement.output_table == "MyRules"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(MineRuleParseError):
+            parse_refresh("REFRESH RULES A B")
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(MineRuleParseError):
+            parse_refresh("REFRESH RULES")
+
+
+class TestEligibility:
+    def _program(self, system, text):
+        from repro.kernel.names import Workspace
+
+        return system._translator.translate(text, Workspace("T1"))
+
+    def test_simple_statement_is_eligible(self, system):
+        assert refresh_eligibility(self._program(system, SIMPLE)) is None
+
+    def test_general_core_is_not(self, system):
+        reason = refresh_eligibility(self._program(system, GENERAL))
+        assert "general core" in reason
+
+    def test_group_having_is_not(self, system):
+        text = SIMPLE.replace(
+            "GROUP BY tr ", "GROUP BY tr HAVING COUNT(*) > 1 "
+        )
+        reason = refresh_eligibility(self._program(system, text))
+        assert "HAVING" in reason
+
+
+class TestPairsQuery:
+    def test_shape(self):
+        statement = parse_mine_rule(SIMPLE)
+        assert pairs_query(statement) == (
+            "SELECT DISTINCT item, tr FROM Purchase"
+        )
+
+    def test_source_condition_rendered(self):
+        statement = parse_mine_rule(
+            SIMPLE.replace(
+                "FROM Purchase GROUP BY",
+                "FROM Purchase WHERE qty > 1 GROUP BY",
+            )
+        )
+        sql = pairs_query(statement)
+        assert sql.startswith("SELECT DISTINCT item, tr FROM Purchase")
+        assert "WHERE" in sql and "qty" in sql
+
+
+class TestFingerprint:
+    def test_stride_small_tables_hash_every_row(self):
+        assert fingerprint_stride(10) == 1
+        assert fingerprint_stride(FINGERPRINT_SAMPLES) == 1
+
+    def test_stride_bounds_samples(self):
+        n = 1_000_000
+        stride = fingerprint_stride(n)
+        assert n // stride <= FINGERPRINT_SAMPLES + 1
+
+
+class TestAprioriCandidates:
+    def test_prefix_join(self):
+        level = [(1,), (2,), (5,)]
+        survivors = {frozenset(t) for t in level}
+        assert _apriori_candidates(level, survivors) == [
+            (1, 2), (1, 5), (2, 5),
+        ]
+
+    def test_subset_prune(self):
+        level = [(1, 2), (1, 3)]
+        survivors = {frozenset(t) for t in level}
+        # (1,2,3) needs {2,3} frequent — it is not, so no candidates
+        assert _apriori_candidates(level, survivors) == []
+        survivors.add(frozenset((2, 3)))
+        assert _apriori_candidates(level, survivors) == [(1, 2, 3)]
+
+
+class TestRefreshComputation:
+    def _capture(self, system):
+        statement = parse_mine_rule(SIMPLE)
+        computation = RefreshComputation(system.db, statement, None)
+        computation.delta()
+        return statement, computation.recount()
+
+    def test_capture_counts_match_bitmaps(self, system):
+        _, state = self._capture(system)
+        assert state.totg == 4  # four transactions in Figure 1
+        for itemset, count in state.counts.items():
+            bits = -1
+            for index in itemset:
+                bits &= state.masks[index]
+            mask = (1 << state.totg) - 1
+            assert (bits & mask).bit_count() == count
+
+    def test_state_is_frequent_union_border(self, system):
+        _, state = self._capture(system)
+        frequent = state.frequent()
+        assert frequent
+        border = set(state.counts) - set(frequent)
+        # every border itemset has all proper subsets frequent
+        for itemset in border:
+            for member in itemset:
+                subset = itemset - {member}
+                if subset:
+                    assert subset in frequent
+
+    def test_delta_update_matches_recapture(self, system):
+        statement, state = self._capture(system)
+        append_purchase(system.db, EXTRA)
+        computation = RefreshComputation(system.db, statement, state)
+        computation.delta()
+        refreshed = computation.recount()
+        scratch = RefreshComputation(system.db, statement, None)
+        scratch.delta()
+        recaptured = scratch.recount()
+        assert refreshed.counts == recaptured.counts
+        assert refreshed.item_order == recaptured.item_order
+        assert refreshed.masks == recaptured.masks
+        assert computation.stats.delta_rows == len(EXTRA)
+        assert computation.stats.new_groups == 2
+
+    def test_shrunk_source_raises(self, system):
+        statement, state = self._capture(system)
+        system.db.catalog.get_table("Purchase").rows.pop()
+        computation = RefreshComputation(system.db, statement, state)
+        with pytest.raises(SourceMutated):
+            computation.delta()
+
+    def test_in_place_update_raises(self, system):
+        statement, state = self._capture(system)
+        rows = system.db.catalog.get_table("Purchase").rows
+        rows[0] = tuple(
+            ["mink_coat" if v == "ski_pants" else v for v in rows[0]]
+        )
+        computation = RefreshComputation(system.db, statement, state)
+        with pytest.raises(SourceMutated):
+            computation.delta()
+
+    def test_dropped_source_raises(self, system):
+        statement, state = self._capture(system)
+        system.db.catalog.drop_table("Purchase")
+        computation = RefreshComputation(system.db, statement, state)
+        with pytest.raises(SourceMutated):
+            computation.delta()
+
+    def test_encode_for_emission_bids_are_dense(self, system):
+        _, state = self._capture(system)
+        bset_rows, counts_by_bid = encode_for_emission(state)
+        bids = [row[0] for row in bset_rows]
+        assert bids == list(range(1, len(bids) + 1))
+        frequent_singletons = {
+            frozenset((row[0],)) for row in bset_rows
+        }
+        for itemset, count in counts_by_bid.items():
+            assert count >= state.min_count
+            for bid in itemset:
+                assert frozenset((bid,)) in frequent_singletons
+
+
+class TestSystemRefresh:
+    def test_refresh_without_run_raises(self, system):
+        with pytest.raises(RefreshError):
+            system.refresh("SimpleAssociations")
+
+    def test_refresh_is_bit_identical_to_scratch(self, system):
+        system.run(SIMPLE)
+        system.refresh("SimpleAssociations")  # captures state
+        append_purchase(system.db, EXTRA)
+        result = system.refresh("REFRESH RULES SimpleAssociations;")
+        assert result.stats.mode == "incremental"
+        assert result.stats.delta_rows == len(EXTRA)
+
+        scratch = MiningSystem()
+        load_purchase_figure1(scratch.db)
+        append_purchase(scratch.db, EXTRA)
+        scratch.run(SIMPLE)
+        out = "SimpleAssociations"
+        for suffix in ("", "_Bodies", "_Heads", "_Display"):
+            mine = system.db.catalog.get_table(out + suffix)
+            theirs = scratch.db.catalog.get_table(out + suffix)
+            assert tuple(mine.columns) == tuple(theirs.columns)
+            assert [tuple(r) for r in mine.rows] == [
+                tuple(r) for r in theirs.rows
+            ]
+
+    def test_empty_delta_refresh_is_stable(self, system):
+        system.run(SIMPLE)
+        first = system.refresh("SimpleAssociations")
+        assert first.stats.mode == "incremental"
+        again = system.refresh("SimpleAssociations")
+        assert again.stats.delta_rows == 0
+        assert again.stats.delta_pairs == 0
+        assert sorted(r.key() for r in first.encoded_rules) == sorted(
+            r.key() for r in again.encoded_rules
+        )
+
+    def test_general_statement_forces_full(self, system):
+        system.run(GENERAL)
+        result = system.refresh("RichAssoc")
+        assert result.stats.mode == "full"
+        assert "general core" in result.stats.reason
+
+    def test_mutated_source_forces_full(self, system):
+        system.run(SIMPLE)
+        system.refresh("SimpleAssociations")  # capture state
+        table = system.db.catalog.get_table("Purchase")
+        table.rows.pop()  # delete in place: not append-only
+        result = system.refresh("SimpleAssociations")
+        assert result.stats.mode == "full"
+        assert "shrank" in result.stats.reason
+        assert result.rules
+
+    def test_refresh_stats_surface_in_tracer(self):
+        from repro.obs.spans import Tracer
+
+        database = Database()
+        load_purchase_figure1(database)
+        tracer = Tracer(enabled=True)
+        system = MiningSystem(database=database, tracer=tracer)
+        system.run(SIMPLE)
+        append_purchase(system.db, EXTRA)
+        system.refresh("SimpleAssociations")
+        span_names = [s.name for s in tracer.spans]
+        assert "minerule.refresh" in span_names
+        assert "refresh.delta" in span_names
+        assert "refresh.recount" in span_names
+        assert "refresh.stats" in [i.name for i in tracer.instants]

@@ -309,6 +309,69 @@ class TestJobService:
         assert stats["workers"] == 3
         assert stats["counts"][DONE] == 1
 
+    def test_refresh_job_end_to_end(self):
+        service = make_service(workers=2)
+        with service:
+            mined = service.wait(service.submit(MINE).id, timeout=60)
+            assert mined.state == DONE
+            job = service.submit("REFRESH RULES JobRules")
+            assert job.kind == "refresh"
+            done = service.wait(job.id, timeout=60)
+        assert done.state == DONE
+        assert done.result["kind"] == "refresh"
+        assert done.result["mode"] == "incremental"
+        assert done.result["rules"] == mined.result["rules"]
+        assert done.result["display"] == mined.result["display"]
+
+    def test_refresh_job_without_prior_run_fails(self):
+        service = make_service(workers=1)
+        with service:
+            done = service.wait(service.submit("REFRESH RULES Ghost").id)
+        assert done.state == FAILED
+        assert "Ghost" in done.error
+
+    def test_gauges_settle_to_zero_under_hammer(self):
+        """Regression for the gauge race: depth/busy were read from the
+        pool *after* submit / inside workers, so concurrent publishes
+        overwrote fresh values with stale ones and the gauges could end
+        non-zero.  The pool's transition observer is now the only
+        writer; after any amount of concurrent traffic both gauges must
+        read exactly 0."""
+        registry = MetricsRegistry()
+        service = make_service(
+            workers=4, queue_size=512, metrics=registry
+        )
+        errors = []
+
+        def hammer(thread_index):
+            try:
+                for i in range(25):
+                    job = service.submit(
+                        f"SELECT {thread_index} + {i}"
+                    )
+                    if i % 5 == 0:
+                        service.wait(job.id, timeout=30)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with service:
+            threads = [
+                threading.Thread(target=hammer, args=(t,))
+                for t in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service.pool.queue.join()
+            assert not errors
+            depth = registry.gauge("repro_jobs_queue_depth", "").value()
+            busy = registry.gauge("repro_jobs_workers_busy", "").value()
+        assert depth == 0
+        assert busy == 0
+        assert service.pool.depth == 0
+        assert service.pool.busy == 0
+
 
 # ---------------------------------------------------------------------------
 # REST router

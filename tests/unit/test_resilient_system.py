@@ -93,6 +93,42 @@ class TestCheckpoints:
         system.invalidate_preprocessing()
         assert system.checkpoint_for(STATEMENT) is None
 
+    def test_discarded_checkpoint_sweeps_its_workspace(self, system):
+        """Satellite fix: a stale checkpoint discarded on
+        ``resume=True`` used to leak its workspace — the restarted run
+        mints a fresh prefix, so the orphaned encoded tables were never
+        dropped.  The discard path now sweeps the old prefix."""
+        _crash(system, site="core.load")
+        checkpoint = system.checkpoint_for(STATEMENT)
+        prefix = checkpoint.workspace_prefix
+        orphans = [
+            t.name for t in system.db.catalog.tables()
+            if t.name.startswith(prefix)
+        ]
+        assert orphans  # the crash left encoded tables behind
+        # drop one encoded table mid-crash: the checkpoint is now stale
+        victim = next(iter(checkpoint.table_snapshot))
+        system.db.catalog.drop_table(victim)
+        result = system.run(STATEMENT, resume=True)
+        assert result.rules
+        assert result.resilience.stages_resumed == 0
+        leaked = [
+            t.name for t in system.db.catalog.tables()
+            if t.name.startswith(prefix)
+        ]
+        assert leaked == []
+        assert any(
+            event.action == "swept orphaned workspace"
+            for event in result.flow.events
+        )
+        # the sweep also evicts reuse-cache entries pointing at the
+        # dropped prefix, or a later statement would be handed
+        # just-dropped encoded tables
+        assert all(
+            entry[0].prefix != prefix
+            for entry in system._preprocess_cache.values()
+        )
+
 
 class TestRetryPlumbing:
     def test_system_wide_retry_policy_is_used(self):

@@ -212,3 +212,76 @@ class TestSystemFacadeWiring:
     def test_shards_describe_in_flow(self):
         sharded = self._run(self.STATEMENT, workers=2)
         assert "2 shards x 2 workers" in sharded.flow.render()
+
+
+class TestPackedLatticeRemapWarning:
+    """Satellite fix: an *explicitly requested* ``packed`` layout that
+    the lattice (general) core remaps to ``bitset`` must say so — a
+    tracer instant plus a one-time ``RuntimeWarning`` — instead of the
+    old silent remap."""
+
+    STATEMENT = TestSystemFacadeWiring.CLUSTERED
+
+    def _run(self, **kwargs):
+        system = MiningSystem(**kwargs)
+        load_purchase_figure1(system.db)
+        return system.execute(self.STATEMENT)
+
+    def test_explicit_packed_warns_with_pinned_message(self):
+        from repro.parallel import (
+            PACKED_LATTICE_REMAP_MESSAGE,
+            reset_packed_remap_warning,
+        )
+
+        reset_packed_remap_warning()
+        with pytest.warns(RuntimeWarning) as captured:
+            result = self._run(workers=2, representation="packed")
+        assert result.rules
+        messages = [str(w.message) for w in captured]
+        assert PACKED_LATTICE_REMAP_MESSAGE in messages
+
+    def test_warning_fires_once_per_process(self):
+        import warnings as warnings_mod
+
+        from repro.parallel import reset_packed_remap_warning
+
+        reset_packed_remap_warning()
+        with pytest.warns(RuntimeWarning):
+            self._run(workers=2, representation="packed")
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            result = self._run(workers=2, representation="packed")
+        assert result.rules
+
+    def test_remap_surfaces_in_tracer(self):
+        from repro.obs.spans import Tracer
+        from repro.parallel import reset_packed_remap_warning
+
+        reset_packed_remap_warning()
+        system = MiningSystem(
+            workers=2, representation="packed", tracer=Tracer(enabled=True)
+        )
+        load_purchase_figure1(system.db)
+        with pytest.warns(RuntimeWarning):
+            system.execute(self.STATEMENT)
+        remaps = [
+            instant
+            for instant in system.tracer.instants
+            if instant.name == "core.representation_remap"
+        ]
+        assert remaps
+        assert remaps[0].args["requested"] == "packed"
+        assert remaps[0].args["effective"] == "bitset"
+
+    def test_auto_upgrade_does_not_warn(self):
+        import warnings as warnings_mod
+
+        from repro.parallel import reset_packed_remap_warning
+
+        reset_packed_remap_warning()
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            # workers>1 auto-upgrades bitset->packed internally; the
+            # lattice core remap of that *implicit* choice stays quiet
+            result = self._run(workers=2)
+        assert result.rules
