@@ -12,6 +12,12 @@ PR 5 extends the same contract to the metrics registry: with metrics
 disabled (the shared :data:`NULL_REGISTRY`) the pipeline must stay
 within the same overhead gate, and with metrics enabled the well-known
 series must actually materialize.  Recorded in ``BENCH_PR5.json``.
+
+PR 10 extends it again to run tracing: trace-context propagation,
+per-span resource attribution and the run-history journal must leave
+the disabled path inside the same gate, and the fully-observed path
+(tracer + CPU attribution + journal) must stay cheap.  Recorded in
+``BENCH_PR10.json``.
 """
 
 import time
@@ -19,10 +25,11 @@ import time
 from benchmarks.conftest import BENCH_QUICK, bench_report, fresh_system
 from repro import Database
 from repro.datagen import QuestParameters, load_quest
-from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import NULL_TRACER, MetricsRegistry, RunLog, Tracer
 
 REPORT, write_report = bench_report("BENCH_PR4.json")
 REPORT5, write_report5 = bench_report("BENCH_PR5.json")
+REPORT10, write_report10 = bench_report("BENCH_PR10.json")
 
 STATEMENT = """
 MINE RULE ObsRules AS
@@ -187,3 +194,96 @@ def test_enabled_metrics_cost_and_series():
         "families": len(registry.collect()),
     }
     assert enabled / baseline < 3.0
+
+
+# ----------------------------------------------------------------------
+# PR 10 — run tracing, resource attribution, run history
+# ----------------------------------------------------------------------
+
+
+def run_pipeline_runlog(tracer, runlog, rounds=ROUNDS):
+    """Best-of wall time of one full MINE RULE run under *tracer* with
+    the run-history journal attached (min: see run_pipeline_metrics)."""
+    samples = []
+    for _ in range(rounds):
+        kwargs = {}
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        if runlog is not None:
+            kwargs["runlog"] = runlog
+        system = fresh_system(quest_database(), **kwargs)
+        started = time.perf_counter()
+        result = system.execute(STATEMENT)
+        samples.append(time.perf_counter() - started)
+        assert result.rules
+    return min(samples)
+
+
+def test_disabled_run_tracing_overhead_within_gate():
+    """With tracing, context propagation, resource attribution and the
+    journal all off, the pipeline must stay inside the PR4 gate —
+    the PR10 hooks add no work to the unobserved path."""
+    baseline = run_pipeline_runlog(None, None)
+    disabled = run_pipeline_runlog(Tracer(enabled=False), None)
+    ratio = disabled / baseline
+    REPORT10["run_tracing_overhead"] = {
+        "baseline_ms": baseline * 1000,
+        "disabled_ms": disabled * 1000,
+        "disabled_ratio": ratio,
+        "limit": OVERHEAD_LIMIT,
+        "quick": BENCH_QUICK,
+    }
+    assert ratio < OVERHEAD_LIMIT, (
+        f"disabled run tracing slowed the pipeline by "
+        f"{(ratio - 1) * 100:.1f}% (limit {OVERHEAD_LIMIT})"
+    )
+
+
+def test_observed_run_with_journal_cost_is_bounded():
+    """The fully-observed path — spans with CPU attribution, trace
+    context, a run-history record with the trace payload — must stay
+    well under the EXPLAIN ANALYZE class of cost."""
+    baseline = run_pipeline_runlog(None, None)
+    tracer = Tracer(enabled=True)
+    runlog = RunLog()
+    observed = run_pipeline_runlog(
+        tracer, runlog, rounds=max(1, ROUNDS // 2)
+    )
+    records = runlog.list(kind="mine")
+    assert records, "observed runs never reached the journal"
+    last = records[-1]
+    assert last["status"] == "ok"
+    assert last["cpu_seconds"] >= 0.0
+    assert "core" in last["stages"]
+    assert any(span.cpu is not None for span in tracer.spans)
+    REPORT10["run_tracing_observed"] = {
+        "baseline_ms": baseline * 1000,
+        "observed_ms": observed * 1000,
+        "observed_ratio": observed / baseline,
+        "journal_records": len(runlog),
+    }
+    assert observed / baseline < 3.0
+
+
+def test_memory_profiling_cost_is_bounded():
+    """tracemalloc attribution is opt-in because it is expensive —
+    roughly 10x on this allocation-heavy pipeline.  Record how
+    expensive, and keep it from regressing past ~2x its measured
+    cost."""
+    from repro.obs import profile
+
+    baseline = run_pipeline_runlog(None, None)
+    tracer = Tracer(enabled=True, profile_mem=True)
+    try:
+        profiled = run_pipeline_runlog(tracer, None, rounds=1)
+    finally:
+        profile.stop_memory_tracking()
+    assert any(
+        span.peak_bytes is not None for span in tracer.spans
+    ), "memory profiling attributed no peaks"
+    REPORT10["profile_mem"] = {
+        "baseline_ms": baseline * 1000,
+        "profiled_ms": profiled * 1000,
+        "profiled_ratio": profiled / baseline,
+    }
+    assert profiled / baseline < 20.0

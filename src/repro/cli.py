@@ -68,6 +68,7 @@ from repro.datagen import (
 )
 from repro.faults import FaultError, FaultSchedule, RetryPolicy
 from repro.minerule.errors import MineRuleError
+from repro.obs import context as obs_context
 from repro.obs import (
     NULL_TRACER,
     Tracer,
@@ -105,6 +106,7 @@ class Shell:
         slowlog=None,
         health=None,
         json_log=None,
+        runlog=None,
         workers: int = 1,
         shards: Optional[int] = None,
         shard_start_method: Optional[str] = None,
@@ -119,10 +121,12 @@ class Shell:
         self.health = health
         #: structured logger (``repro.obs.jsonlog.JsonLogger``) or None
         self.json_log = json_log
+        #: run-history journal (``repro.obs.runlog.RunLog``) or None
+        self.runlog = runlog
         self.system = MiningSystem(
             algorithm=algorithm, retry_policy=retry_policy,
             tracer=self.tracer, metrics=metrics, slowlog=slowlog,
-            health=health, workers=workers, shards=shards,
+            health=health, runlog=runlog, workers=workers, shards=shards,
             shard_start_method=shard_start_method,
             storage=storage, batch_size=batch_size,
             memory_budget=memory_budget,
@@ -175,32 +179,40 @@ class Shell:
         else:
             kind = "sql"
         started = time.perf_counter()
-        try:
-            if kind == "meta":
-                output = self._meta(text)
-            elif kind == "mine":
-                output = self._mine(text)
-            elif kind == "refresh":
-                output = self._refresh(text)
-            else:
-                output = self._sql(text)
-            self._log_statement(kind, text, started, ok=True)
-            if self.timing:
-                elapsed = (time.perf_counter() - started) * 1000
-                output = f"{output}\n({elapsed:.1f} ms)" if output else (
-                    f"({elapsed:.1f} ms)"
+        # one trace context per statement, so spans, slow-query
+        # entries, run-history records and the statement log line all
+        # correlate on the same trace id
+        with obs_context.ensure():
+            try:
+                if kind == "meta":
+                    output = self._meta(text)
+                elif kind == "mine":
+                    output = self._mine(text)
+                elif kind == "refresh":
+                    output = self._refresh(text)
+                else:
+                    output = self._sql(text)
+                self._log_statement(kind, text, started, ok=True)
+                if self.timing:
+                    elapsed = (time.perf_counter() - started) * 1000
+                    output = f"{output}\n({elapsed:.1f} ms)" if output else (
+                        f"({elapsed:.1f} ms)"
+                    )
+                return output
+            except FaultError as exc:
+                self._log_statement(
+                    kind, text, started, ok=False, error=exc
                 )
-            return output
-        except FaultError as exc:
-            self._log_statement(kind, text, started, ok=False, error=exc)
-            return (
-                f"error: {exc}\n"
-                f"(injected fault survived retries; "
-                f"re-run with --resume to continue from the checkpoint)"
-            )
-        except (SqlError, MineRuleError, KeyError, ValueError) as exc:
-            self._log_statement(kind, text, started, ok=False, error=exc)
-            return f"error: {exc}"
+                return (
+                    f"error: {exc}\n"
+                    f"(injected fault survived retries; "
+                    f"re-run with --resume to continue from the checkpoint)"
+                )
+            except (SqlError, MineRuleError, KeyError, ValueError) as exc:
+                self._log_statement(
+                    kind, text, started, ok=False, error=exc
+                )
+                return f"error: {exc}"
 
     def _log_statement(
         self, kind: str, text: str, started: float, ok: bool, error=None
@@ -528,6 +540,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--log-json", action="store_true",
         help="emit one structured JSON log line per statement on stderr",
     )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="with --trace-out: attribute peak traced memory to spans "
+        "via tracemalloc (costs real time)",
+    )
     args = parser.parse_args(argv)
 
     if args.fault_schedule:
@@ -542,7 +559,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
     tracer = (
-        Tracer(enabled=True, analyze=True)
+        Tracer(enabled=True, analyze=True, profile_mem=args.profile_mem)
         if args.trace_out
         else NULL_TRACER
     )

@@ -87,24 +87,38 @@ class Job:
     attempts: int = 0
     #: cooperative-cancel flag polled by the running pipeline
     cancel_requested: bool = False
+    #: trace correlation id shared with the run-history journal and
+    #: every span/log line the job's execution produces
+    trace_id: Optional[str] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: monotonic-clock twins of started_at/finished_at; durations come
+    #: from these so a wall-clock step (NTP slew, DST) can't produce
+    #: negative or inflated runtimes.  The wall-clock fields stay for
+    #: display.
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
 
     def transition(self, new_state: str) -> None:
         """Move to *new_state* (validating the edge) and keep the
         timestamps/attempt counter consistent."""
         check_transition(self.id, self.state, new_state)
         now = time.time()
+        mono = time.monotonic()
         if new_state == RUNNING:
             self.attempts += 1
             self.started_at = now
+            self.started_mono = mono
         elif new_state in TERMINAL:
             self.finished_at = now
+            self.finished_mono = mono
         elif new_state == QUEUED:
             # requeued for another attempt: the record is live again
             self.started_at = None
             self.finished_at = None
+            self.started_mono = None
+            self.finished_mono = None
         self.state = new_state
 
     @property
@@ -112,7 +126,13 @@ class Job:
         return self.state in TERMINAL
 
     def runtime(self) -> Optional[float]:
-        """Wall seconds from start to finish (None until finished)."""
+        """Seconds from start to finish (None until finished).
+
+        Measured on the monotonic clock; falls back to the wall-clock
+        pair only for records restored from the run-history journal,
+        where no monotonic timestamps exist."""
+        if self.started_mono is not None and self.finished_mono is not None:
+            return self.finished_mono - self.started_mono
         if self.started_at is None or self.finished_at is None:
             return None
         return self.finished_at - self.started_at
@@ -126,6 +146,7 @@ class Job:
             "statement": self.statement,
             "attempts": self.attempts,
             "cancel_requested": self.cancel_requested,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

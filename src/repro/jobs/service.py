@@ -37,7 +37,11 @@ from repro.faults import FaultError, RetryPolicy
 from repro.jobs.model import CANCELLED, DONE, FAILED, Job
 from repro.jobs.pool import WorkerPool
 from repro.jobs.table import JobTable
+from repro.obs import context as obs_context
+from repro.obs import profile as obs_profile
+from repro.obs.context import TraceContext, new_trace_id
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.runlog import RunLog, statement_fingerprint
 from repro.sqlengine.dump import dump_table_text
 from repro.system import MiningSystem, RunCancelled
 
@@ -66,9 +70,17 @@ class JobService:
         capacity: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        runlog: Optional[RunLog] = None,
     ):
         self.system = system
         self.table = JobTable(capacity=capacity)
+        #: run-history journal; SQL jobs are recorded here directly
+        #: (mine/refresh jobs are recorded by the system, which owns
+        #: their stage timings), and on construction finished jobs from
+        #: a previous process are rehydrated into the table
+        self.runlog = runlog
+        if runlog is not None:
+            self._rehydrate(runlog)
         self.pool = WorkerPool(
             handler=self._execute, workers=workers, queue_size=queue_size
         )
@@ -93,6 +105,37 @@ class JobService:
             ("status",),
         )
         self.pool.observer = self._publish_pool_gauges
+
+    def _rehydrate(self, runlog: RunLog) -> None:
+        """Restore terminal job records from the run-history journal so
+        ``GET /jobs`` shows history across a service restart."""
+        state_by_status = {"ok": DONE, "cancelled": CANCELLED}
+        for record in runlog.list():
+            job_id = record.get("job_id")
+            if not isinstance(job_id, str) or not job_id:
+                continue
+            state = state_by_status.get(record.get("status"), FAILED)
+            at = record.get("at")
+            seconds = record.get("seconds")
+            finished = at if isinstance(at, (int, float)) else None
+            started = (
+                finished - seconds
+                if finished is not None and isinstance(seconds, (int, float))
+                else finished
+            )
+            job = Job(
+                id=job_id,
+                statement=str(record.get("statement", "")),
+                kind=str(record.get("kind", "sql")),
+                state=state,
+                error=record.get("error"),
+                attempts=1,
+                trace_id=record.get("trace_id"),
+                submitted_at=started if started is not None else 0.0,
+                started_at=started,
+                finished_at=finished,
+            )
+            self.table.restore(job)
 
     def _publish_pool_gauges(self, pending: int, busy: int) -> None:
         """Pool transition observer — invoked under the pool's state
@@ -148,6 +191,7 @@ class JobService:
         if kind not in ("mine", "refresh", "sql"):
             raise ValueError(f"unknown job kind {kind!r}")
         job = self.table.new_job(text, kind)
+        job.trace_id = new_trace_id()
         if retries is not None:
             self._policies[job.id] = RetryPolicy(max_attempts=retries)
         try:
@@ -214,21 +258,29 @@ class JobService:
         policy = self._policies.get(job_id) or self.retry_policy
         if policy is None:
             policy = RetryPolicy.single()
+        if job.trace_id is None:
+            job.trace_id = new_trace_id()
+        context = TraceContext(trace_id=job.trace_id, job_id=job.id)
         status = FAILED
+        error_text: Optional[str] = None
         started = time.perf_counter()
+        cpu_start = obs_profile.cpu_seconds()
         try:
-            result = policy.execute(
-                lambda: self._run_job(job, policy),
-                stage=f"jobs.run.{job_id}",
-            )
+            with obs_context.activated(context):
+                result = policy.execute(
+                    lambda: self._run_job(job, policy),
+                    stage=f"jobs.run.{job_id}",
+                )
             self.table.transition(job_id, DONE, result=result)
             status = DONE
-        except RunCancelled:
+        except RunCancelled as exc:
+            error_text = str(exc)
             self.table.transition(job_id, CANCELLED)
             status = CANCELLED
         except Exception as exc:
+            error_text = f"{type(exc).__name__}: {exc}"
             self.table.transition(
-                job_id, FAILED, error=f"{type(exc).__name__}: {exc}"
+                job_id, FAILED, error=error_text
             )
             status = FAILED
         finally:
@@ -236,6 +288,26 @@ class JobService:
             self._policies.pop(job_id, None)
             self._job_seconds.observe(elapsed, kind=job.kind, status=status)
             self._jobs_total.inc(status=status)
+            if self.runlog is not None and job.kind == "sql":
+                # mine/refresh jobs are journalled by the system with
+                # full stage timings; plain SQL never reaches it, so
+                # the service records those itself
+                self.runlog.record(
+                    id=job.trace_id,
+                    kind="sql",
+                    trace_id=job.trace_id,
+                    job_id=job.id,
+                    statement=job.statement[:200],
+                    fingerprint=statement_fingerprint(job.statement),
+                    status={DONE: "ok", CANCELLED: "cancelled"}.get(
+                        status, "error"
+                    ),
+                    seconds=round(elapsed, 6),
+                    cpu_seconds=round(
+                        obs_profile.cpu_seconds() - cpu_start, 6
+                    ),
+                    **({"error": error_text} if error_text else {}),
+                )
 
     def _run_job(self, job: Job, policy: RetryPolicy) -> Dict[str, Any]:
         """One execution attempt (the unit the retry policy repeats)."""

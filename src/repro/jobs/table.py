@@ -10,7 +10,7 @@ never neither.
 
 from __future__ import annotations
 
-import itertools
+import re
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional
@@ -38,7 +38,7 @@ class JobTable:
         self.capacity = capacity
         self._lock = threading.RLock()
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
-        self._ids = itertools.count(1)
+        self._next_id = 1
         #: terminal jobs evicted to honour the capacity bound
         self.evicted = 0
 
@@ -47,11 +47,31 @@ class JobTable:
     def new_job(self, statement: str, kind: str) -> Job:
         """Allocate an id, create the record and register it."""
         with self._lock:
-            job = Job(id=f"job-{next(self._ids)}", statement=statement,
+            job = Job(id=f"job-{self._next_id}", statement=statement,
                       kind=kind)
+            self._next_id += 1
             self._jobs[job.id] = job
             self._evict_terminal()
             return job
+
+    def restore(self, job: Job) -> bool:
+        """Register a prefab *terminal* job rehydrated from the run
+        history (service restart).  Skips duplicates, and advances the
+        id counter past any ``job-N`` id so new submissions never
+        collide with restored history."""
+        if not job.terminal:
+            raise ValueError(
+                f"only terminal jobs can be restored, got {job.state!r}"
+            )
+        with self._lock:
+            if job.id in self._jobs:
+                return False
+            match = re.fullmatch(r"job-(\d+)", job.id)
+            if match:
+                self._next_id = max(self._next_id, int(match.group(1)) + 1)
+            self._jobs[job.id] = job
+            self._evict_terminal()
+            return True
 
     def _evict_terminal(self) -> None:
         while len(self._jobs) > self.capacity:

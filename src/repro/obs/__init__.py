@@ -19,6 +19,14 @@ subsystem:
   :func:`write_chrome_trace` / :func:`render_obs_report` export traces.
 """
 
+from repro.obs.context import (
+    ChildTracer,
+    TraceContext,
+    activated,
+    current,
+    ensure,
+    new_trace_id,
+)
 from repro.obs.export import (
     render_chrome_trace,
     trace_events,
@@ -38,11 +46,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.promtext import CONTENT_TYPE, render_prometheus
 from repro.obs.report import render_obs_report
+from repro.obs.runlog import RunLog, statement_fingerprint
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
 from repro.obs.spans import NULL_SPAN, NULL_TRACER, Instant, Span, Tracer
 
 __all__ = [
     "CONTENT_TYPE",
+    "ChildTracer",
     "Counter",
     "Gauge",
     "HealthState",
@@ -55,15 +65,22 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "REGISTRY",
+    "RunLog",
     "Span",
     "SlowQuery",
     "SlowQueryLog",
+    "TraceContext",
     "Tracer",
+    "activated",
+    "current",
+    "ensure",
+    "new_trace_id",
     "publish_gauge",
     "render_chrome_trace",
     "render_obs_report",
     "render_prometheus",
     "sanitize_metric_name",
+    "statement_fingerprint",
     "trace_events",
     "write_chrome_trace",
 ]

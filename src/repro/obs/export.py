@@ -5,73 +5,124 @@ understood by ``chrome://tracing`` / Perfetto: spans become ``"X"``
 (complete) events with microsecond ``ts``/``dur`` relative to the
 tracer's origin, instants become ``"i"`` events, and the final counter
 values are emitted as one ``"C"`` event each at the end of the trace.
+
+Events carry the *real* pid/tid of the code that recorded them: spans
+spliced in from shard worker processes
+(:meth:`~repro.obs.spans.Tracer.splice`) keep the worker's pid, so a
+``workers=N`` run renders as one parent lane plus one labelled lane
+per worker — the whole fan-out in a single trace.  Span args include
+the correlation ids (``trace_id``/``span_id``/``parent_id``) and, when
+profiling is on, per-span CPU milliseconds and peak traced bytes.
+
+``trace_events(tracer, trace_id=...)`` restricts the export to one
+run's events — the shape the run history's ``GET /runs/<id>/trace``
+endpoint persists and serves.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.obs.spans import Tracer
 
-#: single-process trace: everything runs in one interpreter
+#: lane ids used when a span predates pid/tid stamping (spliced
+#: records from old bundles, hand-built spans in tests)
 _PID = 1
 _TID = 1
 
 
-def trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
-    """The ``traceEvents`` list for *tracer*."""
+def trace_events(
+    tracer: Tracer, trace_id: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for *tracer*.
+
+    ``trace_id`` filters to one run's spans/instants (session-wide
+    counters are omitted in that case — they aggregate across runs)."""
     origin = tracer.origin
+    spans = tracer.spans
+    instants = tracer.instants
+    if trace_id is not None:
+        spans = [s for s in spans if s.trace_id == trace_id]
+        instants = [i for i in instants if i.trace_id == trace_id]
+    own_pid = tracer.pid or _PID
     events: List[Dict[str, Any]] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": _PID,
+            "pid": own_pid,
             "args": {"name": "repro mining pipeline"},
         }
     ]
+    seen_pids = {own_pid}
     last_us = 0.0
-    for span in sorted(tracer.spans, key=lambda s: s.start):
+    for span in sorted(spans, key=lambda s: s.start):
+        pid = span.pid or own_pid
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"repro shard worker {pid}"},
+                }
+            )
         ts = (span.start - origin) * 1e6
         dur = span.seconds * 1e6
         last_us = max(last_us, ts + dur)
+        args = _json_safe(span.args)
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+        if span.span_id is not None:
+            args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.cpu is not None:
+            args["cpu_ms"] = round(span.cpu * 1000, 3)
+        if span.peak_bytes is not None:
+            args["peak_bytes"] = span.peak_bytes
         events.append(
             {
                 "name": span.name,
                 "cat": span.category or "span",
                 "ph": "X",
-                "pid": _PID,
-                "tid": _TID,
+                "pid": pid,
+                "tid": span.tid or _TID,
                 "ts": round(ts, 3),
                 "dur": round(dur, 3),
-                "args": _json_safe(span.args),
+                "args": args,
             }
         )
-    for instant in tracer.instants:
+    for instant in instants:
         ts = (instant.at - origin) * 1e6
         last_us = max(last_us, ts)
+        args = _json_safe(instant.args)
+        if instant.trace_id is not None:
+            args["trace_id"] = instant.trace_id
         events.append(
             {
                 "name": instant.name,
                 "cat": instant.category or "event",
                 "ph": "i",
                 "s": "t",
-                "pid": _PID,
+                "pid": own_pid,
                 "tid": _TID,
                 "ts": round(ts, 3),
-                "args": _json_safe(instant.args),
+                "args": args,
             }
         )
-    for counter, value in sorted(tracer.counters.items()):
-        events.append(
-            {
-                "name": counter,
-                "ph": "C",
-                "pid": _PID,
-                "ts": round(last_us, 3),
-                "args": {"value": value},
-            }
-        )
+    if trace_id is None:
+        for counter, value in sorted(tracer.counters.items()):
+            events.append(
+                {
+                    "name": counter,
+                    "ph": "C",
+                    "pid": own_pid,
+                    "ts": round(last_us, 3),
+                    "args": {"value": value},
+                }
+            )
     return events
 
 

@@ -9,6 +9,10 @@ production service:
   failing (JSON body with the health snapshot either way)
 * ``GET /stats.json`` — registry snapshot + slow-query log + health
 * ``GET /trace.json`` — Chrome trace-event JSON of the session so far
+* ``GET /runs``       — run-history summaries from the persistent
+  journal (``?limit=&kind=``), when a ``runlog`` is mounted;
+  ``/runs/<id>`` returns one full record, ``/runs/<id>/trace`` the
+  run's own Chrome trace slice
 * ``/jobs...``        — the REST job API (submit / poll / result /
   cancel), when an ``api`` router (:class:`repro.jobs.api.JobsApi`)
   is mounted; POST and DELETE are accepted on those paths only
@@ -105,11 +109,15 @@ class MonitoringServer:
         host: str = "127.0.0.1",
         port: int = 0,
         api: Optional[Any] = None,
+        runlog: Optional[Any] = None,
     ):
         self.registry = registry
         self.health = health if health is not None else HealthState()
         self._stats = stats
         self._trace = trace
+        #: run-history journal (:class:`repro.obs.runlog.RunLog`)
+        #: behind ``/runs``; None leaves the endpoints unmounted
+        self.runlog = runlog
         #: optional request router (``handle(method, path, body, query)
         #: -> (code, payload) | None``); owns every /jobs path
         self.api = api
@@ -203,6 +211,8 @@ class MonitoringServer:
                             self._send(
                                 200, "application/json", server._trace()
                             )
+                    elif path == "/runs" or path.startswith("/runs/"):
+                        self._runs(path)
                     else:
                         self._send_json(
                             404,
@@ -214,6 +224,11 @@ class MonitoringServer:
                                     "/stats.json",
                                     "/trace.json",
                                 ]
+                                + (
+                                    ["/runs"]
+                                    if server.runlog is not None
+                                    else []
+                                )
                                 + (
                                     ["/jobs"]
                                     if server.api is not None
@@ -229,6 +244,58 @@ class MonitoringServer:
                         self._send_json(500, {"error": str(exc)})
                     except Exception:
                         pass
+
+            def _runs(self, path: str) -> None:
+                """The run-history endpoints over the mounted journal."""
+                runlog = server.runlog
+                if runlog is None:
+                    self._send_json(404, {"error": "no run history"})
+                    return
+                if path == "/runs":
+                    _, _, raw_query = self.path.partition("?")
+                    limit: Optional[int] = None
+                    kind: Optional[str] = None
+                    for chunk in raw_query.split("&"):
+                        key, _, value = chunk.partition("=")
+                        if key == "limit" and value.isdigit():
+                            limit = int(value)
+                        elif key == "kind" and value:
+                            kind = value
+                    runs = runlog.list(limit=limit, kind=kind)
+                    self._send_json(
+                        200, {"runs": runs, "total": len(runlog)}
+                    )
+                    return
+                rest = path[len("/runs/"):]
+                run_id, _, tail = rest.partition("/")
+                if tail not in ("", "trace"):
+                    self._send_json(
+                        404, {"error": f"unknown path {path!r}"}
+                    )
+                    return
+                if tail == "trace":
+                    events = runlog.trace(run_id)
+                    if events is None:
+                        self._send_json(
+                            404,
+                            {"error": f"no trace for run {run_id!r}"},
+                        )
+                        return
+                    self._send_json(
+                        200,
+                        {
+                            "traceEvents": events,
+                            "displayTimeUnit": "ms",
+                        },
+                    )
+                    return
+                record = runlog.get(run_id)
+                if record is None:
+                    self._send_json(
+                        404, {"error": f"no such run: {run_id!r}"}
+                    )
+                    return
+                self._send_json(200, record)
 
             def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
                 self._mutating("POST")

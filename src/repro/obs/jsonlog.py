@@ -6,6 +6,11 @@ every event is a single JSON object on its own line (``ts``, ``level``,
 consume a long-running ``repro serve`` session without parsing prose.
 Enabled by the ``--log-json`` CLI flag; the default stream is stderr
 so statement results on stdout stay machine-separable.
+
+Every line is stamped with the active trace context
+(``trace_id``/``job_id``/``run_id``, when one is active), so log
+lines, spans and run-history records of the same execution correlate
+on one id.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import sys
 import threading
 import time
 from typing import Any, Callable, Optional, TextIO
+
+from repro.obs import context as obs_context
 
 
 class JsonLogger:
@@ -40,6 +47,11 @@ class JsonLogger:
         record = {"ts": round(self._clock(), 6), "level": level,
                   "event": event}
         record.update(fields)
+        context = obs_context.current()
+        if context is not None:
+            # correlation ids; explicit fields win over the ambient ones
+            for key, value in context.fields().items():
+                record.setdefault(key, value)
         line = json.dumps(record, default=repr, separators=(",", ":"))
         with self._lock:
             stream = self.stream

@@ -43,6 +43,12 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: byte-scale boundaries (1 KiB .. 1 GiB) for memory histograms
+BYTE_BUCKETS: Tuple[float, ...] = (
+    1024.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+    4194304.0, 16777216.0, 67108864.0, 268435456.0, 1073741824.0,
+)
+
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
@@ -339,14 +345,33 @@ class MetricsRegistry:
 
     def observe_span(self, span: Any) -> None:
         """Span close -> histogram observe (the automatic
-        :class:`~repro.obs.spans.Tracer` feed)."""
+        :class:`~repro.obs.spans.Tracer` feed).  Spans carrying
+        resource attribution additionally feed the CPU-seconds and
+        peak-bytes series."""
         if not self.enabled:
             return
+        category = span.category or span.name
         self.histogram(
             "repro_span_seconds",
             "Wall seconds of tracer spans by category",
             ("category",),
-        ).observe(span.seconds, category=span.category or span.name)
+        ).observe(span.seconds, category=category)
+        cpu = getattr(span, "cpu", None)
+        if cpu is not None:
+            self.histogram(
+                "repro_span_cpu_seconds",
+                "Attributed CPU seconds of tracer spans by category",
+                ("category",),
+            ).observe(cpu, category=category)
+        peak = getattr(span, "peak_bytes", None)
+        if peak is not None:
+            self.histogram(
+                "repro_span_peak_bytes",
+                "Peak traced bytes of tracer spans by category "
+                "(tracemalloc; --profile-mem)",
+                ("category",),
+                buckets=BYTE_BUCKETS,
+            ).observe(peak, category=category)
 
     def trace_counter(self, name: str, amount: float) -> None:
         """Counter mirror for :meth:`Tracer.bump`."""

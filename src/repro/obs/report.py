@@ -34,6 +34,22 @@ def render_obs_report(tracer: Tracer, top: int = 10) -> str:
                 f"  {category:<16} {seconds * 1000:9.2f} ms ({share:4.1f}%)"
             )
 
+    by_cpu = tracer.category_cpu_seconds()
+    if by_cpu:
+        lines.append("cpu by category:")
+        for category, seconds in sorted(
+            by_cpu.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {category:<16} {seconds * 1000:9.2f} ms")
+
+    peaks = [s for s in tracer.spans if s.peak_bytes]
+    if peaks:
+        lines.append("peak traced memory (top spans):")
+        for span in sorted(peaks, key=lambda s: -s.peak_bytes)[:5]:
+            lines.append(
+                f"  {span.name:<28} {span.peak_bytes / 1024:9.1f} KiB"
+            )
+
     slowest = tracer.slowest(top)
     if slowest:
         lines.append(f"slowest spans (top {len(slowest)}):")

@@ -18,7 +18,9 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.obs import context as obs_context
 
 
 @dataclass(frozen=True)
@@ -30,6 +32,11 @@ class SlowQuery:
     detail: str = ""
     #: wall-clock timestamp (``time.time``) of the recording
     at: float = 0.0
+    #: correlation ids of the run/job that executed the statement
+    #: (captured from the ambient trace context at record time)
+    trace_id: Optional[str] = None
+    job_id: Optional[str] = None
+    run_id: Optional[Any] = None
 
     def describe(self) -> str:
         detail = f" — {self.detail}" if self.detail else ""
@@ -67,11 +74,15 @@ class SlowQueryLog:
         """Keep the observation iff it crossed the threshold."""
         if seconds < self.threshold:
             return False
+        context = obs_context.current()
         entry = SlowQuery(
             name=name,
             seconds=seconds,
             detail=" ".join(detail.split())[:200],
             at=self._clock(),
+            trace_id=context.trace_id if context is not None else None,
+            job_id=context.job_id if context is not None else None,
+            run_id=context.run_id if context is not None else None,
         )
         with self._lock:
             self._entries.append(entry)
@@ -93,15 +104,22 @@ class SlowQueryLog:
 
     def as_dicts(self) -> List[Dict[str, Any]]:
         """JSON-ready entries for ``/stats.json``."""
-        return [
-            {
+        out: List[Dict[str, Any]] = []
+        for entry in self.entries():
+            row: Dict[str, Any] = {
                 "name": entry.name,
                 "ms": round(entry.seconds * 1000, 3),
                 "detail": entry.detail,
                 "at": entry.at,
             }
-            for entry in self.entries()
-        ]
+            if entry.trace_id is not None:
+                row["trace_id"] = entry.trace_id
+            if entry.job_id is not None:
+                row["job_id"] = entry.job_id
+            if entry.run_id is not None:
+                row["run_id"] = entry.run_id
+            out.append(row)
+        return out
 
     def render(self, limit: int = 10) -> str:
         """Text rendering, slowest first (report embedding)."""

@@ -19,16 +19,29 @@ the process-wide disabled instance used as the default everywhere.
 
 An enabled tracer can additionally feed a
 :class:`~repro.obs.metrics.MetricsRegistry`: every span close observes
-the ``repro_span_seconds`` histogram, counter bumps and numeric gauges
-mirror one-to-one under sanitized names, so serving mode aggregates
-across runs what the trace records within one.
+the ``repro_span_seconds`` histogram (plus ``repro_span_cpu_seconds``
+and ``repro_span_peak_bytes`` when resource profiling is on), counter
+bumps and numeric gauges mirror one-to-one under sanitized names, so
+serving mode aggregates across runs what the trace records within one.
+
+Correlation (:mod:`repro.obs.context`): every span carries a stable
+``span_id``, its ``parent_id`` (per-thread open-span stack, so
+concurrent job workers nest correctly) and the ``trace_id`` of the
+active :class:`~repro.obs.context.TraceContext`.  Shard worker spans
+recorded in child processes splice into the parent tracer through
+:meth:`Tracer.splice`, aligned via wall-clock origins.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import context as obs_context
+from repro.obs import profile
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 
@@ -41,7 +54,11 @@ class Span:
     captured plans, row counts) into the trace export.
     """
 
-    __slots__ = ("name", "category", "start", "end", "depth", "args", "_tracer")
+    __slots__ = (
+        "name", "category", "start", "end", "depth", "args", "_tracer",
+        "span_id", "parent_id", "trace_id", "pid", "tid",
+        "cpu", "peak_bytes", "_cpu_start", "_mem_start",
+    )
 
     def __init__(
         self,
@@ -59,6 +76,19 @@ class Span:
         self.end: Optional[float] = None
         self.depth = depth
         self.args = args
+        #: correlation ids (assigned by the tracer on begin/splice)
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        #: recording process/thread (real ids: worker spans keep the
+        #: child pid so the trace export lays out per-worker lanes)
+        self.pid: int = 0
+        self.tid: int = 0
+        #: resource attribution (None when profiling is off)
+        self.cpu: Optional[float] = None
+        self.peak_bytes: Optional[int] = None
+        self._cpu_start: Optional[float] = None
+        self._mem_start: profile.MemorySample = None
 
     @property
     def seconds(self) -> float:
@@ -104,13 +134,14 @@ NULL_SPAN = _NullSpan()
 class Instant:
     """A point event (no duration): process-flow markers."""
 
-    __slots__ = ("name", "category", "at", "args")
+    __slots__ = ("name", "category", "at", "args", "trace_id")
 
     def __init__(self, name: str, category: str, at: float, args: Dict[str, Any]):
         self.name = name
         self.category = category
         self.at = at
         self.args = args
+        self.trace_id: Optional[str] = None
 
 
 class Tracer:
@@ -128,6 +159,8 @@ class Tracer:
         analyze: bool = False,
         clock: Callable[[], float] = time.perf_counter,
         metrics: MetricsRegistry = NULL_REGISTRY,
+        profile_cpu: bool = True,
+        profile_mem: bool = False,
     ):
         self.enabled = enabled
         self.analyze = analyze and enabled
@@ -137,12 +170,35 @@ class Tracer:
         self._clock = clock
         #: perf-counter instant the tracer was created (trace epoch)
         self.origin = clock()
+        #: wall-clock instant of the same epoch — the anchor that lets
+        #: child-process event times (whose perf epochs differ) be
+        #: aligned into this tracer's timeline via wall-clock deltas
+        self.wall_origin = time.time()
+        self.pid = os.getpid()
+        #: per-span CPU attribution (time.process_time deltas); cheap
+        #: enough to default on for an enabled tracer
+        self.profile_cpu = profile_cpu and enabled
+        #: per-span peak-memory attribution (tracemalloc); opt-in —
+        #: tracing every allocation has real cost
+        self.profile_mem = profile_mem and enabled
+        if self.profile_mem:
+            profile.start_memory_tracking()
         #: completed spans, in end order
         self.spans: List[Span] = []
         self.instants: List[Instant] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, Any] = {}
-        self._depth = 0
+        self._ids = itertools.count(1)
+        self._open = threading.local()
+
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (parent/depth bookkeeping —
+        per thread so concurrent job workers nest independently)."""
+        stack = getattr(self._open, "stack", None)
+        if stack is None:
+            stack = []
+            self._open.stack = stack
+        return stack
 
     # -- spans ----------------------------------------------------------
 
@@ -150,8 +206,21 @@ class Tracer:
         """Open a span; pair with :meth:`end` (or use as ``with``)."""
         if not self.enabled:
             return NULL_SPAN
-        span = Span(self, name, category, self._clock(), self._depth, args)
-        self._depth += 1
+        stack = self._stack()
+        span = Span(self, name, category, self._clock(), len(stack), args)
+        span.span_id = f"s{next(self._ids)}"
+        if stack:
+            span.parent_id = stack[-1].span_id
+        ctx = obs_context.current()
+        if ctx is not None:
+            span.trace_id = ctx.trace_id
+        span.pid = self.pid
+        span.tid = threading.get_ident()
+        if self.profile_cpu:
+            span._cpu_start = time.process_time()
+        if self.profile_mem:
+            span._mem_start = profile.memory_sample()
+        stack.append(span)
         return span
 
     #: ``span()`` reads better at call sites that use ``with``
@@ -163,17 +232,75 @@ class Tracer:
             return 0.0
         if span.end is None:
             span.end = self._clock()
-            self._depth = max(0, self._depth - 1)
+            if span._cpu_start is not None:
+                span.cpu = time.process_time() - span._cpu_start
+            if span._mem_start is not None:
+                span.peak_bytes = profile.peak_bytes_since(span._mem_start)
+            stack = self._stack()
+            if stack and stack[-1] is span:
+                stack.pop()
+            elif span in stack:  # defensive: out-of-order close
+                stack.remove(span)
             self.spans.append(span)
             if self.metrics.enabled:
                 self.metrics.observe_span(span)
         return span.seconds
 
+    def splice(self, bundle: Optional[Dict[str, Any]],
+               parent: Any = None) -> List[Span]:
+        """Adopt a :class:`~repro.obs.context.ChildTracer` export from
+        a shard worker process.
+
+        Child event times are relative to the child's own perf origin;
+        the bundle's ``wall_origin`` pins that origin to wall-clock
+        time, so the parent places events at ``origin + (child wall
+        origin - own wall origin) + relative start`` — cross-process
+        perf-counter epochs never get compared directly.  Events keep
+        the worker's pid (their own trace lane) and parent into
+        *parent* when they have no recorded parent of their own."""
+        if not self.enabled or not bundle:
+            return []
+        base = self.origin + (bundle["wall_origin"] - self.wall_origin)
+        parent_span = parent if isinstance(parent, Span) else None
+        depth = parent_span.depth + 1 if parent_span is not None else 0
+        trace_id = bundle.get("trace_id") or (
+            parent_span.trace_id if parent_span is not None else None
+        )
+        adopted: List[Span] = []
+        for event in bundle.get("events", ()):
+            span = Span(
+                self,
+                event["name"],
+                event.get("category", ""),
+                base + event["start"],
+                depth,
+                dict(event.get("args") or {}),
+            )
+            span.end = span.start + event.get("seconds", 0.0)
+            span.span_id = event.get("id")
+            span.parent_id = event.get("parent")
+            if span.parent_id is None and parent_span is not None:
+                span.parent_id = parent_span.span_id
+            span.trace_id = trace_id
+            span.pid = bundle.get("pid", 0)
+            span.tid = event.get("tid", 1)
+            span.cpu = event.get("cpu")
+            span.peak_bytes = event.get("peak_bytes")
+            self.spans.append(span)
+            if self.metrics.enabled:
+                self.metrics.observe_span(span)
+            adopted.append(span)
+        return adopted
+
     def instant(self, name: str, category: str = "", **args: Any) -> None:
         """Record a point event."""
         if not self.enabled:
             return
-        self.instants.append(Instant(name, category, self._clock(), args))
+        instant = Instant(name, category, self._clock(), args)
+        ctx = obs_context.current()
+        if ctx is not None:
+            instant.trace_id = ctx.trace_id
+        self.instants.append(instant)
 
     # -- registry -------------------------------------------------------
 
@@ -219,6 +346,17 @@ class Tracer:
         for span in self.spans:
             key = span.category or span.name
             out[key] = out.get(key, 0.0) + span.seconds
+        return out
+
+    def category_cpu_seconds(self) -> Dict[str, float]:
+        """Total attributed CPU seconds per category (spans recorded
+        without CPU profiling contribute nothing)."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            if span.cpu is None:
+                continue
+            key = span.category or span.name
+            out[key] = out.get(key, 0.0) + span.cpu
         return out
 
     def slowest(self, limit: int = 10) -> List[Span]:

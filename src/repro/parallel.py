@@ -50,7 +50,7 @@ from __future__ import annotations
 import math
 import time
 import warnings
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -75,6 +75,8 @@ from repro.kernel.core.rules import EncodedRule
 from repro.kernel.core.simple import build_rules
 from repro.kernel.metrics import CoreStats
 from repro.kernel.program import CoreDirectives
+from repro.obs import context as obs_context
+from repro.obs.context import ChildTracer
 from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.spans import NULL_TRACER
 
@@ -359,79 +361,129 @@ def reset_packed_remap_warning() -> None:
 #: shard's objects, not the whole group universe.
 _WORKER_BUNDLE = None
 
+#: trace id of the run that owns this pool (None: tracing off).  Set
+#: by the initializer alongside the bundle; phase functions record
+#: their spans into a per-task :class:`ChildTracer` and ship the
+#: events back with the shard result for the parent to splice.
+_WORKER_TRACE: Optional[str] = None
 
-def _set_worker_bundle(bundle) -> None:
-    """Pool initializer: install the shared input bundle.  Also called
-    directly (same process) by the inline executor paths."""
-    global _WORKER_BUNDLE
+
+def _set_worker_bundle(bundle, trace: Optional[str] = None) -> None:
+    """Pool initializer: install the shared input bundle and the
+    owning run's trace id.  Also called directly (same process) by the
+    inline executor paths."""
+    global _WORKER_BUNDLE, _WORKER_TRACE
     _WORKER_BUNDLE = bundle
+    _WORKER_TRACE = trace
+
+
+def _child_tracer() -> Optional[ChildTracer]:
+    """A per-task child tracer when the owning run is traced."""
+    if _WORKER_TRACE is None:
+        return None
+    return ChildTracer(trace_id=_WORKER_TRACE or None)
+
+
+def _shard_span(tracer: Optional[ChildTracer], phase: str, index: int):
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(
+        f"core.shard.{index}.{phase}",
+        category="core.shard",
+        phase=phase,
+        shard=index,
+    )
+
+
+def _child_events(tracer: Optional[ChildTracer]):
+    return tracer.export() if tracer is not None else None
 
 
 def _mine_simple_shard(payload):
     """Phase 1 (simple): locally frequent itemset keys of one shard."""
     index, local_min = payload
     started = time.perf_counter()
+    tracer = _child_tracer()
     _, shards, algorithm = _WORKER_BUNDLE
-    groups = shards[index]
     keys: List[Tuple[int, ...]] = []
     stats = BitsetStats()
-    if groups:
-        counts = algorithm.mine(groups, local_min)
-        keys = sorted(tuple(sorted(itemset)) for itemset in counts)
-        shard_stats = getattr(algorithm, "stats", None)
-        if shard_stats is not None:
-            stats.merge(shard_stats)
-    return index, keys, stats, time.perf_counter() - started
+    with _shard_span(tracer, "local", index):
+        groups = shards[index]
+        if groups:
+            counts = algorithm.mine(groups, local_min)
+            keys = sorted(tuple(sorted(itemset)) for itemset in counts)
+            shard_stats = getattr(algorithm, "stats", None)
+            if shard_stats is not None:
+                stats.merge(shard_stats)
+    return (
+        index, keys, stats,
+        time.perf_counter() - started, _child_events(tracer),
+    )
 
 
 def _count_simple_shard(payload):
     """Phase 2 (simple): exact candidate counts of one shard."""
     index, candidates, representation = payload
     started = time.perf_counter()
+    tracer = _child_tracer()
     _, shards, _ = _WORKER_BUNDLE
-    counts = exact_itemset_counts(shards[index], candidates, representation)
-    return index, counts, None, time.perf_counter() - started
+    with _shard_span(tracer, "recount", index):
+        counts = exact_itemset_counts(
+            shards[index], candidates, representation
+        )
+    return (
+        index, counts, None,
+        time.perf_counter() - started, _child_events(tracer),
+    )
 
 
 def _mine_general_shard(payload):
     """Phase 1 (general): locally frequent lattice keys of one shard."""
     index, local_min = payload
     started = time.perf_counter()
+    tracer = _child_tracer()
     _, shards, directives, representation = _WORKER_BUNDLE
-    operator = GeneralCoreOperator(
-        representation=_lattice_representation(representation)
-    )
-    lattice = operator.mine_lattice(
-        shards[index], directives, min_count=local_min
-    )
-    operator.finalize_stats()
-    keys = sorted(
-        key for rule_set in lattice.values() for key in rule_set
-    )
+    with _shard_span(tracer, "local", index):
+        operator = GeneralCoreOperator(
+            representation=_lattice_representation(representation)
+        )
+        lattice = operator.mine_lattice(
+            shards[index], directives, min_count=local_min
+        )
+        operator.finalize_stats()
+        keys = sorted(
+            key for rule_set in lattice.values() for key in rule_set
+        )
     extras = (
         dict(operator.lattice_sizes),
         operator.join_pairs_examined,
         operator.bitmap_stats,
     )
-    return index, keys, extras, time.perf_counter() - started
+    return (
+        index, keys, extras,
+        time.perf_counter() - started, _child_events(tracer),
+    )
 
 
 def _count_general_shard(payload):
     """Phase 2 (general): exact support/body counts of one shard."""
     index, candidates, bodies = payload
     started = time.perf_counter()
+    tracer = _child_tracer()
     _, shards, _, representation = _WORKER_BUNDLE
-    operator = GeneralCoreOperator(
-        representation=_lattice_representation(representation)
-    )
-    supports, body_counts = operator.exact_counts(
-        shards[index], candidates, bodies
-    )
+    with _shard_span(tracer, "recount", index):
+        operator = GeneralCoreOperator(
+            representation=_lattice_representation(representation)
+        )
+        supports, body_counts = operator.exact_counts(
+            shards[index], candidates, bodies
+        )
     return (
         index,
         (supports, body_counts),
         operator.bitmap_stats,
         time.perf_counter() - started,
+        _child_events(tracer),
     )
 
 
@@ -577,9 +629,9 @@ class ShardedMiner:
                     "local", run_phase, _mine_simple_shard, local_payloads
                 )
                 candidates = sorted(
-                    {key for _, keys, _, _ in local for key in keys}
+                    {key for _, keys, _, _, _ in local for key in keys}
                 )
-                for _, _, shard_stats, _ in local:
+                for _, _, shard_stats, _, _ in local:
                     stats.merge(shard_stats)
 
                 count_payloads = [
@@ -590,7 +642,7 @@ class ShardedMiner:
                     "recount", run_phase, _count_simple_shard, count_payloads
                 )
             merged = [0] * len(candidates)
-            for _, shard_counts, _, _ in recount:
+            for _, shard_counts, _, _, _ in recount:
                 for index, value in enumerate(shard_counts):
                     merged[index] += value
             counts = {
@@ -662,9 +714,9 @@ class ShardedMiner:
                     "local", run_phase, _mine_general_shard, local_payloads
                 )
                 candidates = sorted(
-                    {key for _, keys, _, _ in local for key in keys}
+                    {key for _, keys, _, _, _ in local for key in keys}
                 )
-                for _, _, extras, _ in local:
+                for _, _, extras, _, _ in local:
                     sizes, pairs, shard_stats = extras
                     for key, value in sizes.items():
                         lattice_sizes[key] = lattice_sizes.get(key, 0) + value
@@ -681,7 +733,7 @@ class ShardedMiner:
                 )
             support_totals = [0] * len(candidates)
             body_totals = {body: 0 for body in bodies}
-            for _, (supports, body_counts), shard_stats, _ in recount:
+            for _, (supports, body_counts), shard_stats, _, _ in recount:
                 for index, value in enumerate(supports):
                     support_totals[index] += value
                 for body, value in zip(bodies, body_counts):
@@ -718,9 +770,14 @@ class ShardedMiner:
         *bundle* is the shared mining input, installed into every
         worker by the pool initializer (inherited through fork, one
         pickle per worker under spawn) — task payloads then carry only
-        gid spans, never the data."""
+        gid spans, never the data.  The owning run's trace id rides
+        along so workers record spans the parent can splice."""
+        trace: Optional[str] = None
+        if self.tracer.enabled:
+            ctx = obs_context.current()
+            trace = ctx.trace_id if ctx is not None else ""
         if self.in_process or self.workers == 1 or tasks <= 1:
-            _set_worker_bundle(bundle)
+            _set_worker_bundle(bundle, trace)
             yield _inline_map
             return
         import multiprocessing
@@ -730,13 +787,13 @@ class ShardedMiner:
             pool = context.Pool(
                 processes=min(self.workers, tasks),
                 initializer=_set_worker_bundle,
-                initargs=(bundle,),
+                initargs=(bundle, trace),
             )
         except (ImportError, OSError, ValueError) as exc:
             self.degraded = (
                 f"worker pool unavailable ({exc}); shards ran in-process"
             )
-            _set_worker_bundle(bundle)
+            _set_worker_bundle(bundle, trace)
             yield _inline_map
             return
         try:
@@ -747,7 +804,9 @@ class ShardedMiner:
 
     def _run_phase(self, phase: str, run_phase, fn, payloads):
         """Fault-check, dispatch and observe one phase.  Results come
-        back ordered by shard index (``pool.map`` preserves order)."""
+        back ordered by shard index (``pool.map`` preserves order).
+        Child-process span bundles returned with the results are
+        spliced under the phase span — one trace shows the fan-out."""
         for payload in payloads:
             faults.check(f"core.shard.{payload[0]}")
         with self.tracer.span(
@@ -755,7 +814,7 @@ class ShardedMiner:
             category="core",
             shards=len(payloads),
             workers=self.workers,
-        ):
+        ) as phase_span:
             results = run_phase(fn, payloads)
         shard_histogram = None
         if self.metrics.enabled:
@@ -764,7 +823,7 @@ class ShardedMiner:
                 "Wall seconds per mining shard (both phases)",
                 ("shard",),
             )
-        for index, _, _, seconds in results:
+        for index, _, _, seconds, child in results:
             self.shard_seconds[(phase, index)] = seconds
             if shard_histogram is not None:
                 shard_histogram.observe(seconds, shard=str(index))
@@ -776,6 +835,7 @@ class ShardedMiner:
                     shard=index,
                     seconds=round(seconds, 6),
                 )
+                self.tracer.splice(child, parent=phase_span)
         return results
 
 

@@ -33,8 +33,9 @@ Quickstart::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro import faults
 from repro.algorithms import ALGORITHMS
@@ -46,6 +47,7 @@ from repro.obs.export import render_chrome_trace, write_chrome_trace
 from repro.obs.httpd import HealthState, MonitoringServer
 from repro.obs.jsonlog import JsonLogger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.runlog import RunLog
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.spans import Tracer
 from repro.sqlengine import STORAGE_KINDS
@@ -79,14 +81,23 @@ class MineRuleService:
         packed_min_slots: Optional[int] = None,
         job_workers: int = 4,
         job_queue: int = 64,
+        run_log: Optional[str] = None,
+        profile_mem: bool = False,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = Tracer(
-            enabled=True, analyze=analyze, metrics=self.metrics
+            enabled=True,
+            analyze=analyze,
+            metrics=self.metrics,
+            profile_mem=profile_mem,
         )
         self.slowlog = SlowQueryLog(threshold=slow_threshold)
         self.health = HealthState()
         self.json_log = JsonLogger() if log_json else None
+        #: persistent run history — NDJSON journal when ``run_log``
+        #: names a file (replayed on startup, so /runs and the jobs
+        #: table survive a restart), purely in-memory otherwise
+        self.runlog = RunLog(path=run_log)
         self.shell = Shell(
             algorithm=algorithm,
             retry_policy=retry_policy,
@@ -95,6 +106,7 @@ class MineRuleService:
             slowlog=self.slowlog,
             health=self.health,
             json_log=self.json_log,
+            runlog=self.runlog,
             workers=workers,
             shard_start_method=shard_start_method,
             storage=storage,
@@ -114,6 +126,7 @@ class MineRuleService:
             queue_size=job_queue,
             metrics=self.metrics,
             retry_policy=retry_policy,
+            runlog=self.runlog,
         )
         self.shell.jobs = self.jobs
         self.monitor = MonitoringServer(
@@ -124,6 +137,7 @@ class MineRuleService:
             host=host,
             port=port,
             api=JobsApi(self.jobs),
+            runlog=self.runlog,
         )
 
     # ------------------------------------------------------------------
@@ -136,7 +150,7 @@ class MineRuleService:
                 "serve.start",
                 url=self.monitor.url,
                 endpoints=["/metrics", "/healthz", "/stats.json",
-                           "/trace.json", "/jobs"],
+                           "/trace.json", "/runs", "/jobs"],
                 job_workers=self.jobs.pool.workers,
             )
         return self
@@ -169,6 +183,38 @@ class MineRuleService:
             "slow_threshold_ms": round(self.slowlog.threshold * 1000, 3),
             "metrics": self.metrics.snapshot(),
         }
+
+
+def _iter_stdin_lines() -> Iterator[str]:
+    """Yield stdin lines without holding the stream's buffer lock.
+
+    The serving loop blocks on stdin while job threads fork shard
+    worker pools (``--workers``).  A fork taken while this thread sits
+    inside ``sys.stdin.readline()`` snapshots the stream's lock in the
+    held state, and the child then deadlocks in multiprocessing's
+    bootstrap when it closes its inherited ``sys.stdin``.  Reading the
+    file descriptor directly keeps the stream object unlocked, so
+    forked children can always close it.
+    """
+    try:
+        fd = sys.stdin.fileno()
+    except (AttributeError, OSError, ValueError):
+        yield from sys.stdin  # not a real fd (tests): lock is harmless
+        return
+    buffer = bytearray()
+    while True:
+        newline = buffer.find(b"\n")
+        if newline >= 0:
+            line = bytes(buffer[: newline + 1])
+            del buffer[: newline + 1]
+            yield line.decode("utf-8", errors="replace")
+            continue
+        chunk = os.read(fd, 65536)
+        if not chunk:
+            break
+        buffer.extend(chunk)
+    if buffer:
+        yield bytes(buffer).decode("utf-8", errors="replace")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -249,6 +295,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-out", default=None, metavar="FILE",
         help="write the session's Chrome trace-event JSON to FILE on exit",
     )
+    parser.add_argument(
+        "--run-log", default=None, metavar="FILE",
+        help="append-only NDJSON run-history journal backing GET /runs "
+        "(replayed on startup, so history survives restarts)",
+    )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="attribute peak traced memory to spans via tracemalloc "
+        "(costs real time; off by default)",
+    )
     args = parser.parse_args(argv)
 
     if args.fault_schedule:
@@ -279,18 +335,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         packed_min_slots=args.packed_min_slots,
         job_workers=args.job_workers,
         job_queue=args.job_queue,
+        run_log=args.run_log,
+        profile_mem=args.profile_mem,
     )
     service.start()
     print(
         f"repro serve — monitoring on {service.monitor.url} "
-        f"(/metrics /healthz /stats.json /trace.json /jobs); "
+        f"(/metrics /healthz /stats.json /trace.json /runs /jobs); "
         f"statements on stdin, ; terminated; "
         f"POST /jobs submits statements over HTTP",
         file=sys.stderr,
         flush=True,
     )
     try:
-        for line in sys.stdin:
+        for line in _iter_stdin_lines():
             try:
                 output = service.feed(line)
             except EOFError:  # .quit

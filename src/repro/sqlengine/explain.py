@@ -375,14 +375,20 @@ class AnalyzeResult:
     """Outcome of one EXPLAIN ANALYZE run: the annotated plan text,
     structured node stats, and the statement's real result."""
 
-    __slots__ = ("statement", "result", "text", "nodes", "seconds")
+    __slots__ = (
+        "statement", "result", "text", "nodes", "seconds", "cpu_seconds"
+    )
 
-    def __init__(self, statement, result, text, nodes, seconds):
+    def __init__(
+        self, statement, result, text, nodes, seconds, cpu_seconds=None
+    ):
         self.statement = statement
         self.result = result
         self.text = text
         self.nodes = nodes
         self.seconds = seconds
+        #: process CPU consumed by the execution (user + system)
+        self.cpu_seconds = cpu_seconds
 
     @property
     def rowcount(self) -> int:
@@ -400,15 +406,19 @@ def analyze_statement(
     collector = AnalyzeCollector()
     database._analyze = collector
     started = time.perf_counter()
+    cpu_started = time.process_time()
     try:
         result = database.execute_ast(statement, params)
     finally:
         database._analyze = None
         collector.detach()
     seconds = time.perf_counter() - started
-    text = _render_analyzed(statement, collector, result, seconds)
+    cpu_seconds = time.process_time() - cpu_started
+    text = _render_analyzed(
+        statement, collector, result, seconds, cpu_seconds
+    )
     return AnalyzeResult(
-        statement, result, text, collector.nodes(), seconds
+        statement, result, text, collector.nodes(), seconds, cpu_seconds
     )
 
 
@@ -417,6 +427,7 @@ def _render_analyzed(
     collector: AnalyzeCollector,
     result: Any,
     seconds: float,
+    cpu_seconds: Optional[float] = None,
 ) -> str:
     annotate = collector.annotator()
     lines: List[str] = []
@@ -438,7 +449,12 @@ def _render_analyzed(
     rowcount = (
         len(result.rows) if result.columns else result.rowcount
     )
+    cpu = (
+        f" (cpu {cpu_seconds * 1000:.3f} ms)"
+        if cpu_seconds is not None
+        else ""
+    )
     lines.append(
-        f"Execution: {rowcount} rows in {seconds * 1000:.3f} ms"
+        f"Execution: {rowcount} rows in {seconds * 1000:.3f} ms{cpu}"
     )
     return "\n".join(lines)

@@ -64,11 +64,15 @@ from repro.kernel.trace import ProcessFlow
 from repro.kernel.translator import Translator
 from repro.minerule.parser import parse_refresh
 from repro.minerule.statements import MineRuleStatement
+from repro.obs import context as obs_context
+from repro.obs import profile as obs_profile
+from repro.obs.export import trace_events
 from repro.obs.metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
     publish_gauge,
 )
+from repro.obs.runlog import RunLog, statement_fingerprint
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.parallel import ShardedMiner
 from repro.sqlengine.columnar import validate_storage
@@ -204,6 +208,7 @@ class MiningSystem:
         metrics: Optional[MetricsRegistry] = None,
         slowlog: Optional[Any] = None,
         health: Optional[Any] = None,
+        runlog: Optional[RunLog] = None,
         workers: int = 1,
         shards: Optional[int] = None,
         shard_start_method: Optional[str] = None,
@@ -261,6 +266,10 @@ class MiningSystem:
         #: run-state tracker (:class:`repro.obs.httpd.HealthState`)
         #: behind a monitoring server's ``/healthz``
         self.health = health
+        #: run-history journal (:class:`repro.obs.runlog.RunLog`); every
+        #: completed run/refresh appends one record (trace ids, stage
+        #: timings, resource totals, outcome) that survives restarts
+        self.runlog = runlog
         #: None means "pick for me": serial runs keep the default
         #: big-int "bitset" layout, sharded runs (workers > 1) upgrade
         #: to the packed word layout whose construction cost is linear
@@ -350,6 +359,7 @@ class MiningSystem:
             or metrics.enabled
             or self.slowlog is not None
             or health is not None
+            or self.runlog is not None
         )
         if not observed:
             return self._run_pipeline(statement_text, resume, policy, cancel)
@@ -358,54 +368,124 @@ class MiningSystem:
         if health is not None:
             health.begin()
         status = "error"
+        error_text: Optional[str] = None
+        result: Optional[MiningResult] = None
         started = time.perf_counter()
-        try:
-            if tracer.enabled:
-                with tracer.span(
-                    "minerule.run",
-                    category="minerule",
-                    statement=compact[:120],
-                    run=self._executions + 1,
-                ):
+        with obs_context.ensure() as ctx:
+            cpu_start = obs_profile.cpu_seconds()
+            mem_start = obs_profile.memory_sample()
+            try:
+                if tracer.enabled:
+                    with tracer.span(
+                        "minerule.run",
+                        category="minerule",
+                        statement=compact[:120],
+                        run=self._executions + 1,
+                    ):
+                        result = self._run_pipeline(
+                            statement_text, resume, policy, cancel
+                        )
+                else:
                     result = self._run_pipeline(
                         statement_text, resume, policy, cancel
                     )
-            else:
-                result = self._run_pipeline(
-                    statement_text, resume, policy, cancel
-                )
-            status = "ok"
-        except RunCancelled:
-            # Not a failure: the caller asked the run to stop.  The
-            # health endpoint must not flip to 503 over it.
-            status = "cancelled"
-            if health is not None:
-                health.success()
-            raise
-        except Exception as exc:
-            if health is not None:
-                health.failure(exc)
-            raise
-        finally:
-            elapsed = time.perf_counter() - started
-            if metrics.enabled:
-                metrics.histogram(
-                    "repro_minerule_run_seconds",
-                    "End-to-end MINE RULE run latency",
-                ).observe(elapsed)
-                metrics.counter(
-                    "repro_minerule_runs_total",
-                    "MINE RULE runs by outcome",
-                    ("status",),
-                ).inc(status=status)
-            if self.slowlog is not None:
-                self.slowlog.record(
-                    "minerule.run", elapsed, detail=compact
-                )
+                ctx.run_id = result.run_id
+                status = "ok"
+            except RunCancelled as exc:
+                # Not a failure: the caller asked the run to stop.  The
+                # health endpoint must not flip to 503 over it.
+                status = "cancelled"
+                error_text = str(exc)
+                if health is not None:
+                    health.success()
+                raise
+            except Exception as exc:
+                error_text = f"{type(exc).__name__}: {exc}"
+                if health is not None:
+                    health.failure(exc)
+                raise
+            finally:
+                elapsed = time.perf_counter() - started
+                if metrics.enabled:
+                    metrics.histogram(
+                        "repro_minerule_run_seconds",
+                        "End-to-end MINE RULE run latency",
+                    ).observe(elapsed)
+                    metrics.counter(
+                        "repro_minerule_runs_total",
+                        "MINE RULE runs by outcome",
+                        ("status",),
+                    ).inc(status=status)
+                if self.slowlog is not None:
+                    self.slowlog.record(
+                        "minerule.run", elapsed, detail=compact
+                    )
+                if self.runlog is not None:
+                    self._record_run(
+                        ctx,
+                        kind="mine",
+                        statement=compact,
+                        status=status,
+                        error=error_text,
+                        elapsed=elapsed,
+                        cpu_seconds=obs_profile.cpu_seconds() - cpu_start,
+                        peak_bytes=obs_profile.peak_bytes_since(mem_start),
+                        rules=None if result is None else len(result.rules),
+                        stages=None if result is None else result.flow.timings,
+                    )
         if health is not None:
             health.success()
         self._publish_observations(result)
         return result
+
+    def _record_run(
+        self,
+        ctx: obs_context.TraceContext,
+        kind: str,
+        statement: str,
+        status: str,
+        error: Optional[str],
+        elapsed: float,
+        cpu_seconds: Optional[float] = None,
+        peak_bytes: Optional[int] = None,
+        rules: Optional[int] = None,
+        stages: Optional[Dict[str, float]] = None,
+        **extra: Any,
+    ) -> None:
+        """Append one completed run/refresh to the run-history journal."""
+        record: Dict[str, Any] = {
+            "id": ctx.trace_id,
+            "kind": kind,
+            "trace_id": ctx.trace_id,
+            "statement": statement[:200],
+            "fingerprint": statement_fingerprint(statement),
+            "status": status,
+            "seconds": round(elapsed, 6),
+        }
+        if ctx.job_id is not None:
+            record["job_id"] = ctx.job_id
+        if ctx.run_id is not None:
+            record["run_id"] = ctx.run_id
+        if error:
+            record["error"] = error
+        if cpu_seconds is not None:
+            record["cpu_seconds"] = round(cpu_seconds, 6)
+        if peak_bytes is not None and peak_bytes > 0:
+            record["peak_bytes"] = int(peak_bytes)
+        if rules is not None:
+            record["rules"] = rules
+        if stages:
+            record["stages"] = {
+                name: round(seconds, 6) for name, seconds in stages.items()
+            }
+        record.update(extra)
+        if self.tracer.enabled:
+            # persist the run's own slice of the trace so GET
+            # /runs/<id>/trace works long after the tracer moved on
+            record["trace"] = trace_events(
+                self.tracer, trace_id=ctx.trace_id
+            )
+        self.runlog.record(**record)
 
     def _run_pipeline(
         self,
@@ -939,44 +1019,72 @@ class MiningSystem:
             health.begin()
         status = "error"
         mode = "unknown"
+        error_text: Optional[str] = None
+        result: Optional[RefreshResult] = None
         started = time.perf_counter()
-        try:
-            if tracer.enabled:
-                with tracer.span(
-                    "minerule.refresh", category="minerule", output=name
-                ):
+        with obs_context.ensure() as ctx:
+            cpu_start = obs_profile.cpu_seconds()
+            mem_start = obs_profile.memory_sample()
+            try:
+                if tracer.enabled:
+                    with tracer.span(
+                        "minerule.refresh", category="minerule", output=name
+                    ):
+                        result = self._refresh_pipeline(
+                            name, resume, policy, cancel
+                        )
+                else:
                     result = self._refresh_pipeline(
                         name, resume, policy, cancel
                     )
-            else:
-                result = self._refresh_pipeline(name, resume, policy, cancel)
-            status = "ok"
-            mode = result.stats.mode
-        except RunCancelled:
-            status = "cancelled"
-            if health is not None:
-                health.success()
-            raise
-        except Exception as exc:
-            if health is not None:
-                health.failure(exc)
-            raise
-        finally:
-            elapsed = time.perf_counter() - started
-            if metrics.enabled:
-                metrics.histogram(
-                    "repro_refresh_seconds",
-                    "End-to-end REFRESH RULES latency",
-                ).observe(elapsed)
-                metrics.counter(
-                    "repro_refresh_total",
-                    "REFRESH RULES runs by outcome and mode",
-                    ("status", "mode"),
-                ).inc(status=status, mode=mode)
-            if self.slowlog is not None:
-                self.slowlog.record(
-                    "minerule.refresh", elapsed, detail=f"REFRESH RULES {name}"
-                )
+                ctx.run_id = result.run_id
+                status = "ok"
+                mode = result.stats.mode
+            except RunCancelled as exc:
+                status = "cancelled"
+                error_text = str(exc)
+                if health is not None:
+                    health.success()
+                raise
+            except Exception as exc:
+                error_text = f"{type(exc).__name__}: {exc}"
+                if health is not None:
+                    health.failure(exc)
+                raise
+            finally:
+                elapsed = time.perf_counter() - started
+                if metrics.enabled:
+                    metrics.histogram(
+                        "repro_refresh_seconds",
+                        "End-to-end REFRESH RULES latency",
+                    ).observe(elapsed)
+                    metrics.counter(
+                        "repro_refresh_total",
+                        "REFRESH RULES runs by outcome and mode",
+                        ("status", "mode"),
+                    ).inc(status=status, mode=mode)
+                if self.slowlog is not None:
+                    self.slowlog.record(
+                        "minerule.refresh",
+                        elapsed,
+                        detail=f"REFRESH RULES {name}",
+                    )
+                if self.runlog is not None:
+                    self._record_run(
+                        ctx,
+                        kind="refresh",
+                        statement=f"REFRESH RULES {name}",
+                        status=status,
+                        error=error_text,
+                        elapsed=elapsed,
+                        cpu_seconds=obs_profile.cpu_seconds() - cpu_start,
+                        peak_bytes=obs_profile.peak_bytes_since(mem_start),
+                        rules=None if result is None else len(result.rules),
+                        stages=(
+                            None if result is None else result.flow.timings
+                        ),
+                        mode=mode,
+                    )
         if health is not None:
             health.success()
         return result

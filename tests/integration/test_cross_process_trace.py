@@ -1,0 +1,126 @@
+"""Cross-process trace collection (PR 10 tentpole).
+
+A ``workers=2`` traced run must produce ONE Chrome trace holding the
+parent pipeline spans AND the shard workers' child spans — recorded in
+the worker processes, shipped back with the shard results and spliced
+under the ``core.shards.local`` / ``core.shards.recount`` phase spans
+— all sharing the run's trace id, with per-span CPU attribution and
+per-worker pid lanes.  Under both fork and spawn start methods, and
+with tracing on the mined output stays bit-identical to the goldens.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro import Database, MiningSystem
+from repro.datagen import load_purchase_figure1
+from repro.obs import TraceContext, Tracer, activated, trace_events
+from repro.sqlengine.dump import dump_table_text
+from tests.integration.test_golden_outputs import (
+    GOLDEN_DIR,
+    GOLDEN_STATEMENTS,
+)
+
+STATEMENT = "simple_associations"
+
+
+def _golden_text(table):
+    return (
+        GOLDEN_DIR / f"{STATEMENT}__{table}.golden.txt"
+    ).read_text(encoding="utf-8")
+
+
+def _traced_run(start_method):
+    database = Database()
+    load_purchase_figure1(database)
+    tracer = Tracer(enabled=True)
+    system = MiningSystem(
+        database=database,
+        workers=2,
+        shard_start_method=start_method,
+        tracer=tracer,
+    )
+    with activated(TraceContext(trace_id="trace-xproc")) as context:
+        result = system.run(GOLDEN_STATEMENTS[STATEMENT])
+    return database, tracer, context, result
+
+
+def _check_cross_process_trace(start_method):
+    database, tracer, context, result = _traced_run(start_method)
+
+    # tracing never changes the mined output
+    out = result.output_table
+    for table in (out, f"{out}_Bodies", f"{out}_Heads", f"{out}_Display"):
+        assert dump_table_text(database, table) == _golden_text(table)
+
+    spans = {span.name: span for span in tracer.spans}
+    assert "core.shards.local" in spans
+    assert "core.shards.recount" in spans
+
+    # child spans recorded inside the worker processes, spliced under
+    # the owning phase span
+    locals_ = [
+        s for s in tracer.spans
+        if s.name.startswith("core.shard.") and s.name.endswith(".local")
+    ]
+    recounts = [
+        s for s in tracer.spans
+        if s.name.startswith("core.shard.") and s.name.endswith(".recount")
+    ]
+    assert len(locals_) == 2 and len(recounts) == 2
+    for span in locals_:
+        assert span.parent_id == spans["core.shards.local"].span_id
+    for span in recounts:
+        assert span.parent_id == spans["core.shards.recount"].span_id
+
+    # one trace id across parent and children; CPU attributed per span
+    for span in locals_ + recounts:
+        assert span.trace_id == "trace-xproc"
+        assert span.cpu is not None and span.cpu >= 0.0
+
+    degraded = any(e.action == "degraded" for e in result.flow.events)
+    if not degraded:
+        # real worker processes: child spans carry the workers' pids
+        child_pids = {span.pid for span in locals_ + recounts}
+        assert os.getpid() not in child_pids
+
+    # the exported trace shows the whole fan-out: parent lane plus
+    # labelled worker lanes, every X event on this run's trace id
+    events = trace_events(tracer, trace_id="trace-xproc")
+    x_events = [e for e in events if e["ph"] == "X"]
+    assert all(
+        e["args"]["trace_id"] == "trace-xproc" for e in x_events
+    )
+    if not degraded:
+        lanes = {e["pid"] for e in x_events}
+        assert len(lanes) >= 2
+        worker_labels = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert any(
+            label.startswith("repro shard worker ")
+            for label in worker_labels
+        )
+
+
+def test_cross_process_trace_fork():
+    if sys.platform == "win32":  # pragma: no cover - POSIX CI
+        pytest.skip("fork start method is POSIX-only")
+    _check_cross_process_trace("fork")
+
+
+def test_cross_process_trace_spawn():
+    _check_cross_process_trace("spawn")
+
+
+def test_untraced_sharded_run_records_no_child_events():
+    database = Database()
+    load_purchase_figure1(database)
+    system = MiningSystem(database=database, workers=2)
+    result = system.run(GOLDEN_STATEMENTS[STATEMENT])
+    out = result.output_table
+    assert dump_table_text(database, out) == _golden_text(out)

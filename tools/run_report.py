@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Inspect and diff runs from a run-history journal.
+
+The serving mode's ``--run-log FILE`` leaves an append-only NDJSON
+journal (:mod:`repro.obs.runlog`): one record per completed MINE RULE
+run, REFRESH RULES run or SQL job, carrying the trace id, statement
+fingerprint, stage timings, resource totals and outcome.  This tool
+reads such a journal offline:
+
+* ``list`` — one line per run (id, kind, status, wall/cpu seconds);
+* ``show <id>`` — the full record of one run, stages included;
+* ``diff <id> <id>`` — stage-by-stage comparison of two runs: wall
+  seconds per stage side by side with the delta and ratio, plus the
+  total/cpu/rules rows.  Pointing it at two runs of the same
+  statement fingerprint before and after a change answers "which
+  stage got slower" without re-running anything.
+
+Usage::
+
+    python tools/run_report.py runs.ndjson list [--kind mine]
+    python tools/run_report.py runs.ndjson show <run-id>
+    python tools/run_report.py runs.ndjson diff <run-id> <run-id>
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.runlog import RunLog  # noqa: E402
+
+
+def load_journal(path: str) -> RunLog:
+    if not Path(path).exists():
+        raise SystemExit(f"no such journal: {path}")
+    # capacity generously above the journal bound: offline inspection
+    # should see every surviving record
+    return RunLog(path=path, capacity=1_000_000)
+
+
+def cmd_list(runlog: RunLog, kind: Optional[str]) -> str:
+    runs = runlog.list(kind=kind)
+    if not runs:
+        return "no runs recorded"
+    lines = [
+        f"{'id':<18} {'kind':<8} {'status':<10} "
+        f"{'seconds':>9} {'cpu':>9} {'rules':>6}  statement"
+    ]
+    for run in runs:
+        cpu = run.get("cpu_seconds")
+        cpu_text = "-" if cpu is None else f"{cpu:.3f}"
+        rules = run.get("rules")
+        rules_text = "" if rules is None else str(rules)
+        lines.append(
+            f"{run.get('id', '?'):<18} {run.get('kind', '?'):<8} "
+            f"{run.get('status', '?'):<10} "
+            f"{run.get('seconds', 0.0):>9.3f} {cpu_text:>9} "
+            f"{rules_text:>6}  {str(run.get('statement', ''))[:60]}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_show(runlog: RunLog, run_id: str) -> str:
+    record = runlog.get(run_id)
+    if record is None:
+        raise SystemExit(f"no such run: {run_id}")
+    lines = [f"run {run_id}"]
+    for key in (
+        "kind", "status", "statement", "fingerprint", "trace_id",
+        "job_id", "run_id", "mode", "error", "seconds", "cpu_seconds",
+        "peak_bytes", "rules", "at",
+    ):
+        if key in record:
+            lines.append(f"  {key:<12} {record[key]}")
+    stages = record.get("stages")
+    if stages:
+        lines.append("  stages:")
+        for stage, seconds in stages.items():
+            lines.append(f"    {stage:<16} {seconds * 1000:9.2f} ms")
+    return "\n".join(lines)
+
+
+def _stage_rows(
+    left: Dict[str, Any], right: Dict[str, Any]
+) -> List[str]:
+    stages_a = left.get("stages") or {}
+    stages_b = right.get("stages") or {}
+    order = list(stages_a)
+    order.extend(s for s in stages_b if s not in stages_a)
+    rows: List[str] = []
+    for stage in order:
+        a = stages_a.get(stage)
+        b = stages_b.get(stage)
+        rows.append(_delta_row(stage, a, b))
+    return rows
+
+
+def _delta_row(label: str, a: Optional[float], b: Optional[float]) -> str:
+    fmt = lambda v: "      -" if v is None else f"{v * 1000:9.2f}"  # noqa: E731
+    if a is None or b is None:
+        return f"  {label:<16} {fmt(a)} {fmt(b)}"
+    delta = (b - a) * 1000
+    ratio = f"{b / a:6.2f}x" if a > 0 else "      -"
+    return f"  {label:<16} {fmt(a)} {fmt(b)} {delta:+9.2f} {ratio}"
+
+
+def cmd_diff(runlog: RunLog, id_a: str, id_b: str) -> str:
+    a = runlog.get(id_a)
+    b = runlog.get(id_b)
+    if a is None:
+        raise SystemExit(f"no such run: {id_a}")
+    if b is None:
+        raise SystemExit(f"no such run: {id_b}")
+    lines = [f"diff {id_a} -> {id_b}"]
+    fp_a, fp_b = a.get("fingerprint"), b.get("fingerprint")
+    if fp_a and fp_b and fp_a != fp_b:
+        lines.append(
+            f"  (different statements: {fp_a} vs {fp_b} — "
+            f"stage deltas compare unlike work)"
+        )
+    lines.append(
+        f"  {'stage':<16} {'ms (a)':>9} {'ms (b)':>9} "
+        f"{'delta':>9} {'ratio':>7}"
+    )
+    lines.extend(_stage_rows(a, b))
+    lines.append(
+        _delta_row("total", a.get("seconds"), b.get("seconds"))
+    )
+    lines.append(
+        _delta_row("cpu", a.get("cpu_seconds"), b.get("cpu_seconds"))
+    )
+    rules_a, rules_b = a.get("rules"), b.get("rules")
+    if rules_a is not None or rules_b is not None:
+        lines.append(f"  {'rules':<16} {rules_a!s:>9} {rules_b!s:>9}")
+    status_a, status_b = a.get("status"), b.get("status")
+    if status_a != status_b:
+        lines.append(f"  {'status':<16} {status_a!s:>9} {status_b!s:>9}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_report",
+        description="inspect and diff runs from a --run-log journal",
+    )
+    parser.add_argument("journal", help="NDJSON run-history journal file")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_list = sub.add_parser("list", help="one line per recorded run")
+    p_list.add_argument(
+        "--kind", default=None, choices=("mine", "refresh", "sql"),
+        help="only runs of this kind",
+    )
+    p_show = sub.add_parser("show", help="full record of one run")
+    p_show.add_argument("run_id")
+    p_diff = sub.add_parser(
+        "diff", help="stage-by-stage comparison of two runs"
+    )
+    p_diff.add_argument("run_a")
+    p_diff.add_argument("run_b")
+    args = parser.parse_args(argv)
+
+    runlog = load_journal(args.journal)
+    if args.command == "list":
+        print(cmd_list(runlog, args.kind))
+    elif args.command == "show":
+        print(cmd_show(runlog, args.run_id))
+    else:
+        print(cmd_diff(runlog, args.run_a, args.run_b))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
